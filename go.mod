@@ -1,0 +1,3 @@
+module github.com/paper-repo-growth/mirs
+
+go 1.24

@@ -1,1 +1,86 @@
+// Package core wires the public packages into a single compilation entry
+// point: dependence analysis, MII computation, modulo scheduling and
+// register-pressure analysis in one call. It is the facade the future
+// service/CLI layers build on, and re-exports the few types callers need
+// so casual users can depend on core alone.
 package core
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/regpress"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// Re-exported aliases so entry-point users can name the pipeline's main
+// types without importing every layer.
+type (
+	// Machine is the clustered VLIW machine description (pkg/machine).
+	Machine = machine.Machine
+	// Loop is a loop body in the dependence-graph IR (pkg/ir).
+	Loop = ir.Loop
+	// Schedule is a modulo schedule (pkg/sched).
+	Schedule = sched.Schedule
+	// Scheduler is the pluggable backend interface (pkg/sched).
+	Scheduler = sched.Scheduler
+)
+
+// Result is everything one compilation produces.
+type Result struct {
+	// Graph is the loop's data dependence graph.
+	Graph *ir.Graph
+	// MII is the initiation-interval lower bound max(ResMII, RecMII).
+	MII sched.MII
+	// Schedule is the valid modulo schedule the backend produced.
+	Schedule *sched.Schedule
+	// Pressure is the register-pressure profile of Schedule.
+	Pressure *regpress.Result
+}
+
+// Summary renders a one-line result digest for logs and CLIs.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s on %s: II=%d (ResMII=%d RecMII=%d) stages=%d MaxLive=%d by %s",
+		r.Schedule.Loop.Name, r.Schedule.Machine.Name, r.Schedule.II,
+		r.MII.Res, r.MII.Rec, r.Schedule.StageCount(), r.Pressure.MaxLive, r.Schedule.By)
+}
+
+// Compile runs the full pipeline on loop l for machine m with the default
+// baseline backend (the list scheduler).
+func Compile(l *ir.Loop, m *machine.Machine) (*Result, error) {
+	return CompileWith(sched.ListScheduler{}, l, m)
+}
+
+// CompileWith is Compile with an explicit scheduler backend: it builds
+// the dependence graph, computes MII, schedules, validates and analyses
+// register pressure. The returned schedule is guaranteed Validate-clean:
+// regpress.Analyze re-validates backend output, so a buggy backend is
+// caught at this boundary rather than downstream.
+func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil scheduler")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	mii, err := sched.ComputeMII(g, m)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.Schedule(&sched.Request{Loop: l, Machine: m, Graph: g, MII: &mii})
+	if err != nil {
+		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
+	}
+	// Analyze validates the schedule, so backend bugs surface here with
+	// the backend's name attached — no separate Validate pass needed.
+	press, err := regpress.Analyze(out)
+	if err != nil {
+		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
+	}
+	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press}, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+func TestCompileAllExamplesOnBothMachines(t *testing.T) {
+	for _, m := range []*Machine{machine.Unified(), machine.Paper4Cluster()} {
+		for _, l := range ir.ExampleLoops() {
+			t.Run(m.Name+"/"+l.Name, func(t *testing.T) {
+				r, err := Compile(l, m)
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				if err := r.Schedule.Validate(); err != nil {
+					t.Errorf("schedule invalid: %v", err)
+				}
+				if r.Schedule.II < r.MII.MII {
+					t.Errorf("II = %d below MII = %d", r.Schedule.II, r.MII.MII)
+				}
+				if r.Pressure.MaxLive < 1 {
+					t.Errorf("MaxLive = %d", r.Pressure.MaxLive)
+				}
+				if s := r.Summary(); !strings.Contains(s, l.Name) || !strings.Contains(s, "II=") {
+					t.Errorf("Summary = %q", s)
+				}
+			})
+		}
+	}
+}
+
+// failingScheduler returns an intentionally broken schedule to prove
+// CompileWith re-validates backend output.
+type failingScheduler struct{}
+
+func (failingScheduler) Name() string { return "broken" }
+
+func (failingScheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
+	g, err := ir.Build(req.Loop, req.Machine, nil)
+	if err != nil {
+		return nil, err
+	}
+	// All instructions at cycle 0, slot 0, cluster 0: resource chaos.
+	return &sched.Schedule{
+		Loop:       req.Loop,
+		Machine:    req.Machine,
+		Graph:      g,
+		II:         1,
+		Placements: make([]sched.Placement, req.Loop.NumInstrs()),
+		By:         "broken",
+	}, nil
+}
+
+func TestCompileWithRejectsInvalidBackendOutput(t *testing.T) {
+	_, err := CompileWith(failingScheduler{}, ir.DotProduct(), machine.Unified())
+	if err == nil || !strings.Contains(err.Error(), "invalid schedule") {
+		t.Errorf("want invalid-schedule error, got %v", err)
+	}
+}
+
+func TestCompileWithNilScheduler(t *testing.T) {
+	if _, err := CompileWith(nil, ir.DotProduct(), machine.Unified()); err == nil {
+		t.Error("CompileWith(nil) succeeded")
+	}
+}
+
+func TestCompileRejectsUnschedulableLoop(t *testing.T) {
+	l := &ir.Loop{Name: "fp", Instrs: []*ir.Instruction{
+		{ID: 0, Op: "sqrt", Class: machine.OpClass("fpu"), Defs: []ir.VReg{0}},
+	}}
+	if _, err := Compile(l, machine.Unified()); err == nil {
+		t.Error("Compile accepted a loop with an unsupported op class")
+	}
+}

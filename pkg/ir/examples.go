@@ -1,0 +1,108 @@
+package ir
+
+import "github.com/paper-repo-growth/mirs/pkg/machine"
+
+// This file is a small library of example loop bodies used by tests and
+// benchmarks across the repository. They span the three regimes that
+// matter for modulo scheduling: resource-bound loops (DotProduct, FIR),
+// recurrence-bound loops (Livermore-style, with carried distance > 1),
+// and the degenerate single-instruction loop.
+
+// ins is a compact instruction constructor for the examples.
+func ins(id int, op string, class machine.OpClass, defs, uses []VReg) *Instruction {
+	return &Instruction{ID: id, Op: op, Class: class, Defs: defs, Uses: uses}
+}
+
+// DotProduct returns the body of s += a[i]*b[i]: two loads, a multiply,
+// an accumulating add (a distance-1 recurrence on v4) and address
+// updates. It is resource-bound on machines with one or two memory ports.
+//
+//	v2 = load  v0        ; a[i]
+//	v3 = load  v1        ; b[i]
+//	v5 = fmul  v2, v3
+//	v4 = fadd  v4, v5    ; s += ...
+//	v0 = add   v0
+//	v1 = add   v1
+//	     br    v0
+func DotProduct() *Loop {
+	return &Loop{Name: "dotprod", Instrs: []*Instruction{
+		ins(0, "load", machine.ClassMem, []VReg{2}, []VReg{0}),
+		ins(1, "load", machine.ClassMem, []VReg{3}, []VReg{1}),
+		ins(2, "fmul", machine.ClassMul, []VReg{5}, []VReg{2, 3}),
+		ins(3, "fadd", machine.ClassALU, []VReg{4}, []VReg{4, 5}),
+		ins(4, "add", machine.ClassALU, []VReg{0}, []VReg{0}),
+		ins(5, "add", machine.ClassALU, []VReg{1}, []VReg{1}),
+		ins(6, "br", machine.ClassBranch, nil, []VReg{0}),
+	}}
+}
+
+// FIR returns the body of a 4-tap finite impulse response filter
+// y[i] = sum_k c[k]*x[i+k]: four loads, four multiplies, an add tree and
+// a store. With no inter-iteration recurrence beyond the address update,
+// it is purely resource-bound and exercises wide machines.
+func FIR() *Loop {
+	l := &Loop{Name: "fir4"}
+	id := 0
+	add := func(op string, class machine.OpClass, defs, uses []VReg) {
+		l.Instrs = append(l.Instrs, ins(id, op, class, defs, uses))
+		id++
+	}
+	// v0 = &x[i], v1..v4 = coefficients (live-in), v20 = &y[i].
+	add("load", machine.ClassMem, []VReg{5}, []VReg{0}) // x[i]
+	add("load", machine.ClassMem, []VReg{6}, []VReg{0}) // x[i+1]
+	add("load", machine.ClassMem, []VReg{7}, []VReg{0}) // x[i+2]
+	add("load", machine.ClassMem, []VReg{8}, []VReg{0}) // x[i+3]
+	add("fmul", machine.ClassMul, []VReg{9}, []VReg{5, 1})
+	add("fmul", machine.ClassMul, []VReg{10}, []VReg{6, 2})
+	add("fmul", machine.ClassMul, []VReg{11}, []VReg{7, 3})
+	add("fmul", machine.ClassMul, []VReg{12}, []VReg{8, 4})
+	add("fadd", machine.ClassALU, []VReg{13}, []VReg{9, 10})
+	add("fadd", machine.ClassALU, []VReg{14}, []VReg{11, 12})
+	add("fadd", machine.ClassALU, []VReg{15}, []VReg{13, 14})
+	add("store", machine.ClassMem, nil, []VReg{15, 20})
+	add("add", machine.ClassALU, []VReg{0}, []VReg{0})
+	add("add", machine.ClassALU, []VReg{20}, []VReg{20})
+	add("br", machine.ClassBranch, nil, []VReg{0})
+	return l
+}
+
+// Livermore returns a Livermore-kernel-style linear recurrence
+// x[i] = z[i]*(y + x[i-2]) whose carried true dependence has distance 2:
+// the chain (load z, fmul, fadd) feeds itself two iterations later. Its
+// RecMII exceeds its ResMII on every canned machine, making it the
+// recurrence-bound test case.
+//
+//	v2 = load v0           ; z[i]
+//	v3 = fadd v1, v4[-2]   ; y + x[i-2]
+//	v4 = fmul v2, v3       ; x[i]
+//	     store v4, v5
+//	v0 = add  v0
+//	v5 = add  v5
+//	     br   v0
+func Livermore() *Loop {
+	fadd := ins(1, "fadd", machine.ClassALU, []VReg{3}, []VReg{1, 4})
+	fadd.CarriedUses = map[VReg]int{4: 2}
+	return &Loop{Name: "livermore", Instrs: []*Instruction{
+		ins(0, "load", machine.ClassMem, []VReg{2}, []VReg{0}),
+		fadd,
+		ins(2, "fmul", machine.ClassMul, []VReg{4}, []VReg{2, 3}),
+		ins(3, "store", machine.ClassMem, nil, []VReg{4, 5}),
+		ins(4, "add", machine.ClassALU, []VReg{0}, []VReg{0}),
+		ins(5, "add", machine.ClassALU, []VReg{5}, []VReg{5}),
+		ins(6, "br", machine.ClassBranch, nil, []VReg{0}),
+	}}
+}
+
+// SingleInstruction returns the degenerate one-instruction loop (a lone
+// self-incrementing add). Every MII component must come out 1.
+func SingleInstruction() *Loop {
+	return &Loop{Name: "single", Instrs: []*Instruction{
+		ins(0, "add", machine.ClassALU, []VReg{0}, []VReg{0}),
+	}}
+}
+
+// ExampleLoops returns the full example library, the corpus the tier-1
+// scheduler tests run over.
+func ExampleLoops() []*Loop {
+	return []*Loop{DotProduct(), FIR(), Livermore(), SingleInstruction()}
+}

@@ -1,0 +1,283 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// DepKind classifies a dependence edge.
+type DepKind int
+
+const (
+	// DepTrue is a flow (read-after-write) dependence: the consumer
+	// reads the value the producer computes, so its latency is the
+	// producer's result latency.
+	DepTrue DepKind = iota
+	// DepAnti is a write-after-read dependence: the writer must not
+	// clobber the register before the reader has issued.
+	DepAnti
+	// DepOutput is a write-after-write dependence between two
+	// definitions of the same register.
+	DepOutput
+	// DepMem is a memory dependence (store/load ordering). The builder
+	// never infers these — alias analysis is out of scope — but callers
+	// can add them with Graph.AddEdge.
+	DepMem
+)
+
+// String returns "true", "anti", "output" or "mem".
+func (k DepKind) String() string {
+	switch k {
+	case DepTrue:
+		return "true"
+	case DepAnti:
+		return "anti"
+	case DepOutput:
+		return "output"
+	case DepMem:
+		return "mem"
+	}
+	return fmt.Sprintf("DepKind(%d)", int(k))
+}
+
+// Edge is one dependence in the graph. The scheduling constraint it
+// encodes is
+//
+//	start(To) >= start(From) + Latency - Distance*II
+//
+// where II is the initiation interval of the modulo schedule.
+type Edge struct {
+	// From and To are instruction IDs (producer and consumer).
+	From, To int
+	// Kind classifies the dependence.
+	Kind DepKind
+	// Distance is the number of iterations the dependence crosses:
+	// 0 for an intra-iteration edge, >=1 for a loop-carried one.
+	Distance int
+	// Latency is the minimum issue-cycle separation the edge demands.
+	Latency int
+	// Reg is the virtual register that induced the edge (unset for
+	// DepMem edges).
+	Reg VReg
+}
+
+// Graph is the data dependence graph of one loop body. Nodes are the
+// loop's instruction IDs; edges carry kind, distance and latency.
+type Graph struct {
+	// Loop is the loop the graph was built from.
+	Loop *Loop
+	// Edges holds every dependence. Do not append directly; use AddEdge
+	// so adjacency stays consistent.
+	Edges []Edge
+
+	succs [][]int // node -> indices into Edges (outgoing)
+	preds [][]int // node -> indices into Edges (incoming)
+}
+
+// BuildOptions tunes dependence-edge latencies.
+type BuildOptions struct {
+	// AntiLatency is the latency of anti edges. The default 0 lets a
+	// redefinition issue in the same cycle as the last read, which
+	// matches a VLIW that reads operands at issue.
+	AntiLatency int
+	// OutputLatency is the latency of output edges; default 1.
+	OutputLatency int
+}
+
+// Build derives the dependence graph of l against machine m.
+//
+// Register dependences use nearest-def semantics: a use reads the nearest
+// definition strictly before it in the body, or — when no definition
+// precedes it — the last definition of the previous iteration (a
+// loop-carried edge with distance 1). An instruction whose CarriedUses
+// maps register v to k instead reads the last definition from k
+// iterations back. Anti edges run from each use to the next definition,
+// and output edges chain successive definitions, both wrapping around the
+// loop body with distance 1. True-edge latency is the producer's class
+// latency on m.
+//
+// Memory dependences are not inferred; add them with AddEdge if the loop
+// needs store/load ordering.
+func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	o := BuildOptions{AntiLatency: 0, OutputLatency: 1}
+	if opts != nil {
+		o = *opts
+	}
+	g := &Graph{Loop: l}
+	n := l.NumInstrs()
+	g.succs = make([][]int, n)
+	g.preds = make([][]int, n)
+
+	// Gather def and use positions per register, in body order.
+	defs := map[VReg][]int{}
+	uses := map[VReg][]int{}
+	for i, in := range l.Instrs {
+		for _, d := range in.Defs {
+			defs[d] = append(defs[d], i)
+		}
+		for _, u := range in.Uses {
+			// A register read twice by one instruction (v1 * v1) is one
+			// dependence, not two.
+			if n := len(uses[u]); n > 0 && uses[u][n-1] == i {
+				continue
+			}
+			uses[u] = append(uses[u], i)
+		}
+	}
+
+	regs := make([]VReg, 0, len(defs))
+	for v := range defs {
+		regs = append(regs, v)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+
+	for _, v := range regs {
+		dv := defs[v]
+		last := dv[len(dv)-1]
+
+		// True edges: each use reads its reaching definition.
+		for _, u := range uses[v] {
+			if k, carried := carriedDistance(l.Instrs[u], v); carried {
+				g.addEdge(Edge{From: last, To: u, Kind: DepTrue, Distance: k,
+					Latency: m.Latency(l.Instrs[last].Class), Reg: v})
+				continue
+			}
+			from, dist := -1, 0
+			for _, d := range dv {
+				if d < u {
+					from = d
+				}
+			}
+			if from == -1 {
+				from, dist = last, 1
+			}
+			g.addEdge(Edge{From: from, To: u, Kind: DepTrue, Distance: dist,
+				Latency: m.Latency(l.Instrs[from].Class), Reg: v})
+		}
+
+		// Anti edges: each use must issue no later than the next
+		// definition (plus AntiLatency).
+		for _, u := range uses[v] {
+			to, dist := -1, 0
+			for _, d := range dv {
+				if d > u {
+					to = d
+					break
+				}
+			}
+			if to == -1 {
+				to, dist = dv[0], 1
+			}
+			g.addEdge(Edge{From: u, To: to, Kind: DepAnti, Distance: dist, Latency: o.AntiLatency, Reg: v})
+		}
+
+		// Output edges: chain successive definitions, wrapping around.
+		for i := 0; i+1 < len(dv); i++ {
+			g.addEdge(Edge{From: dv[i], To: dv[i+1], Kind: DepOutput, Distance: 0, Latency: o.OutputLatency, Reg: v})
+		}
+		g.addEdge(Edge{From: last, To: dv[0], Kind: DepOutput, Distance: 1, Latency: o.OutputLatency, Reg: v})
+	}
+	return g, nil
+}
+
+func carriedDistance(in *Instruction, v VReg) (int, bool) {
+	if in.CarriedUses == nil {
+		return 0, false
+	}
+	k, ok := in.CarriedUses[v]
+	return k, ok
+}
+
+// AddEdge appends an edge (typically a DepMem ordering constraint) and
+// keeps the adjacency lists consistent. It returns an error if the edge
+// references unknown nodes or has a negative distance or latency.
+func (g *Graph) AddEdge(e Edge) error {
+	n := g.NumNodes()
+	if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+		return fmt.Errorf("ir: edge %d->%d outside graph of %d nodes", e.From, e.To, n)
+	}
+	if e.Distance < 0 {
+		return fmt.Errorf("ir: edge %d->%d with negative distance %d", e.From, e.To, e.Distance)
+	}
+	if e.Latency < 0 {
+		return fmt.Errorf("ir: edge %d->%d with negative latency %d", e.From, e.To, e.Latency)
+	}
+	if e.Distance == 0 && e.From == e.To {
+		return fmt.Errorf("ir: self edge %d->%d with distance 0 is unsatisfiable", e.From, e.To)
+	}
+	g.addEdge(e)
+	return nil
+}
+
+func (g *Graph) addEdge(e Edge) {
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.succs[e.From] = append(g.succs[e.From], idx)
+	g.preds[e.To] = append(g.preds[e.To], idx)
+}
+
+// NumNodes returns the number of instructions in the graph.
+func (g *Graph) NumNodes() int { return len(g.succs) }
+
+// Succs returns the outgoing edges of node id.
+func (g *Graph) Succs(id int) []*Edge {
+	out := make([]*Edge, len(g.succs[id]))
+	for i, ei := range g.succs[id] {
+		out[i] = &g.Edges[ei]
+	}
+	return out
+}
+
+// Preds returns the incoming edges of node id.
+func (g *Graph) Preds(id int) []*Edge {
+	out := make([]*Edge, len(g.preds[id]))
+	for i, ei := range g.preds[id] {
+		out[i] = &g.Edges[ei]
+	}
+	return out
+}
+
+// IntraTopoOrder returns the nodes in a topological order of the
+// intra-iteration (distance-0) subgraph, which is always acyclic for a
+// well-formed loop: every cycle in a dependence graph must cross an
+// iteration boundary. Schedulers use this as their placement order.
+func (g *Graph) IntraTopoOrder() ([]int, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ei := range g.succs[id] {
+			e := &g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("ir: intra-iteration dependence cycle in loop %q", g.Loop.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,51 @@
+package machine
+
+// This file holds the two canned machine descriptions used throughout the
+// tests and benchmarks. Latencies follow the MICRO 2001 paper's model:
+// single-cycle ALU operations, pipelined 2-cycle multiplies, 2-cycle
+// loads/stores, and a 1-cycle loop branch.
+
+// Unified returns a single-cluster 8-issue machine: four ALUs, two
+// multipliers, two memory ports and a branch-capable ALU slot, all sharing
+// one 64-entry register file. It is the "unified" reference configuration
+// the paper compares clustered machines against: no bus penalties, so any
+// slowdown seen on a clustered config is the cost of clustering.
+func Unified() *Machine {
+	return NewBuilder("unified").
+		Latency(ClassALU, 1).
+		Latency(ClassMul, 2).
+		Latency(ClassMem, 2).
+		Latency(ClassBranch, 1).
+		Cluster("c0", 64,
+			FU("alu0", ClassALU, ClassBranch),
+			FU("alu1", ClassALU),
+			FU("alu2", ClassALU),
+			FU("alu3", ClassALU),
+			FU("mul0", ClassMul),
+			FU("mul1", ClassMul),
+			FU("mem0", ClassMem),
+			FU("mem1", ClassMem)).
+		MustBuild()
+}
+
+// Paper4Cluster returns the paper's four-cluster configuration: the same
+// total issue width and register budget as Unified, partitioned into four
+// clusters of (1 ALU, 1 multiplier-capable slot, 1 memory port... ) — here
+// one ALU/branch slot and one mul/mem slot per cluster with a 16-entry
+// local register file — connected by four shared buses with a one-cycle
+// transfer latency.
+func Paper4Cluster() *Machine {
+	b := NewBuilder("paper-4cluster").
+		Latency(ClassALU, 1).
+		Latency(ClassMul, 2).
+		Latency(ClassMem, 2).
+		Latency(ClassBranch, 1).
+		Bus("xbus", 4, 1)
+	names := []string{"c0", "c1", "c2", "c3"}
+	for _, n := range names {
+		b.Cluster(n, 16,
+			FU(n+".alu", ClassALU, ClassBranch),
+			FU(n+".mulmem", ClassMul, ClassMem))
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,225 @@
+// Package regpress analyses the register pressure of a modulo schedule:
+// per-kernel-cycle live-value counts and their maximum, MaxLive.
+//
+// This is the analysis the MIRS algorithm's integrated spilling is driven
+// by: whenever MaxLive on some cluster exceeds that cluster's register
+// file, the scheduler must spill (insert store/load pairs) or increase
+// the initiation interval. This package only *measures*; acting on the
+// measurement belongs to the scheduler backends.
+//
+// The model follows the paper's MaxLive definition. A value lives from
+// the issue cycle of its defining instruction to the issue cycle of its
+// last consumer (which, for a consumer e with dependence distance d, is
+// start(e.To) + d*II in the defining iteration's time frame). Because
+// iterations overlap every II cycles, a lifetime of length L contributes
+// to ceil-wise overlapping copies of itself: the analysis folds the flat
+// interval into the II kernel cycles, counting one live value per time
+// the interval covers a cycle congruent to c (mod II) — exactly the
+// number of simultaneously live copies the steady state sustains.
+// Live-in values (used but never defined in the body) hold a register on
+// every kernel cycle, in each cluster that consumes them.
+package regpress
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// Lifetime is the live range of one produced value in the flat time
+// frame of its defining iteration.
+type Lifetime struct {
+	// Reg is the virtual register holding the value.
+	Reg ir.VReg
+	// Def is the defining instruction's ID, or -1 for a live-in value
+	// (used by the loop but defined outside it), which occupies a
+	// register on every kernel cycle.
+	Def int
+	// Cluster is the cluster whose register file holds the value: the
+	// defining instruction's cluster for the original, or a consuming
+	// cluster for a bus-delivered copy.
+	Cluster int
+	// Start is the issue cycle of the definition.
+	Start int
+	// End is the issue cycle of the last consumer, in the defining
+	// iteration's time frame (>= Start; equal when the value is dead or
+	// consumed at issue).
+	End int
+}
+
+// Length returns the number of kernel cycles the value occupies a
+// register, counting the definition cycle itself.
+func (lt Lifetime) Length() int { return lt.End - lt.Start + 1 }
+
+// Result is the pressure profile of one schedule.
+type Result struct {
+	// Machine is the machine the schedule was analysed against; Fits
+	// compares pressure to its register files.
+	Machine *machine.Machine
+	// II is the schedule's initiation interval; all per-cycle slices
+	// have length II.
+	II int
+	// Lifetimes lists every analysed live range.
+	Lifetimes []Lifetime
+	// PerCycle is the machine-wide live-value count at each kernel
+	// cycle 0..II-1.
+	PerCycle []int
+	// PerCluster[c] is the live-value count per kernel cycle charged to
+	// cluster c's register file.
+	PerCluster [][]int
+	// MaxLive is the maximum of PerCycle.
+	MaxLive int
+	// MaxLivePerCluster[c] is the maximum of PerCluster[c].
+	MaxLivePerCluster []int
+}
+
+// Fits reports whether the analysed pressure fits the register files of
+// the machine the schedule was computed for: every cluster's MaxLive is
+// at most the cluster's register-file size. A schedule that does not fit
+// needs spilling (or a larger II) before register allocation can succeed.
+func (r *Result) Fits() bool {
+	for ci := range r.MaxLivePerCluster {
+		if r.MaxLivePerCluster[ci] > r.Machine.Clusters[ci].RegFile.Size {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze computes the pressure profile of a valid schedule. It returns
+// an error if the schedule fails Validate, so results are only ever
+// reported for schedules the contract holds for.
+func Analyze(s *sched.Schedule) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("regpress: invalid schedule: %w", err)
+	}
+	r := &Result{
+		Machine:           s.Machine,
+		II:                s.II,
+		PerCycle:          make([]int, s.II),
+		PerCluster:        make([][]int, s.Machine.NumClusters()),
+		MaxLivePerCluster: make([]int, s.Machine.NumClusters()),
+	}
+	for ci := range r.PerCluster {
+		r.PerCluster[ci] = make([]int, s.II)
+	}
+
+	// One lifetime per defining instruction per defined register,
+	// stretched to the latest consumer over the true dependence edges
+	// that read this specific definition. A consumer on another cluster
+	// receives a bus-delivered copy, which occupies a register in the
+	// consumer's file from delivery to its last local use — that copy is
+	// a separate lifetime charged to the consuming cluster.
+	type defKey struct {
+		id  int
+		reg ir.VReg
+	}
+	end := map[defKey]int{}
+	remoteEnd := map[defKey]map[int]int{} // consumer cluster -> last use there
+	for id, in := range s.Loop.Instrs {
+		for _, d := range in.Defs {
+			end[defKey{id, d}] = s.Start(id)
+		}
+	}
+	for i := range s.Graph.Edges {
+		e := &s.Graph.Edges[i]
+		if e.Kind != ir.DepTrue {
+			continue
+		}
+		k := defKey{e.From, e.Reg}
+		if _, ok := end[k]; !ok {
+			continue
+		}
+		use := s.Start(e.To) + e.Distance*s.II
+		if use > end[k] {
+			end[k] = use
+		}
+		if uc := s.Placements[e.To].Cluster; uc != s.Placements[e.From].Cluster {
+			if remoteEnd[k] == nil {
+				remoteEnd[k] = map[int]int{}
+			}
+			if cur, ok := remoteEnd[k][uc]; !ok || use > cur {
+				remoteEnd[k][uc] = use
+			}
+		}
+	}
+	addLifetime := func(lt Lifetime) {
+		r.Lifetimes = append(r.Lifetimes, lt)
+		for t := lt.Start; t <= lt.End; t++ {
+			c := t % s.II
+			r.PerCycle[c]++
+			r.PerCluster[lt.Cluster][c]++
+		}
+	}
+	for id, in := range s.Loop.Instrs {
+		for _, d := range in.Defs {
+			k := defKey{id, d}
+			addLifetime(Lifetime{
+				Reg:     d,
+				Def:     id,
+				Cluster: s.Placements[id].Cluster,
+				Start:   s.Start(id),
+				End:     end[k],
+			})
+			// Bus-delivered copies in consuming clusters: live from
+			// arrival (producer latency + bus) to the last local use.
+			arrival := s.Start(id) + s.Machine.Latency(in.Class) + s.Machine.BusLatency()
+			for uc := 0; uc < s.Machine.NumClusters(); uc++ {
+				lastUse, ok := remoteEnd[k][uc]
+				if !ok {
+					continue
+				}
+				start := arrival
+				if start > lastUse {
+					start = lastUse
+				}
+				addLifetime(Lifetime{Reg: d, Def: id, Cluster: uc, Start: start, End: lastUse})
+			}
+		}
+	}
+
+	// Live-in values (used but never defined in the body — loop
+	// invariants, base addresses, coefficients) occupy a register on
+	// every kernel cycle, one per cluster that consumes them.
+	defined := map[ir.VReg]bool{}
+	for _, in := range s.Loop.Instrs {
+		for _, d := range in.Defs {
+			defined[d] = true
+		}
+	}
+	liveInClusters := map[ir.VReg]map[int]bool{}
+	for id, in := range s.Loop.Instrs {
+		for _, u := range in.Uses {
+			if defined[u] {
+				continue
+			}
+			if liveInClusters[u] == nil {
+				liveInClusters[u] = map[int]bool{}
+			}
+			liveInClusters[u][s.Placements[id].Cluster] = true
+		}
+	}
+	for _, v := range s.Loop.VRegs() {
+		clusters := liveInClusters[v]
+		for ci := 0; ci < s.Machine.NumClusters(); ci++ {
+			if clusters[ci] {
+				addLifetime(Lifetime{Reg: v, Def: -1, Cluster: ci, Start: 0, End: s.II - 1})
+			}
+		}
+	}
+	for _, n := range r.PerCycle {
+		if n > r.MaxLive {
+			r.MaxLive = n
+		}
+	}
+	for ci := range r.PerCluster {
+		for _, n := range r.PerCluster[ci] {
+			if n > r.MaxLivePerCluster[ci] {
+				r.MaxLivePerCluster[ci] = n
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+)
+
+// ListScheduler is the reference baseline backend: a non-backtracking
+// modulo list scheduler. It starts at II = MII, places instructions in
+// intra-iteration topological order (highest dependence height first),
+// greedily picking the cluster and earliest cycle with a free compatible
+// slot in the modulo reservation table, and bumps II and retries whenever
+// placement fails or a loop-carried dependence from a later-placed
+// instruction ends up violated. It makes no attempt at register-pressure
+// control — it is the baseline the paper's MIRS (with integrated
+// spilling) is measured against.
+type ListScheduler struct{}
+
+// Name returns "list".
+func (ListScheduler) Name() string { return "list" }
+
+// Schedule implements Scheduler. The produced schedule always passes
+// Schedule.Validate; it returns an error only for invalid input (bad
+// loop/graph, unsupported op class, intra-iteration cycle) or when the
+// II search exceeds Request.MaxII.
+func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
+	if req.Loop == nil || req.Machine == nil {
+		return nil, fmt.Errorf("sched: list: request missing loop or machine")
+	}
+	g, err := req.graph()
+	if err != nil {
+		return nil, err
+	}
+	mii, err := req.mii(g)
+	if err != nil {
+		return nil, err
+	}
+	order, err := placementOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	maxII := req.MaxII
+	if maxII <= 0 {
+		// Safe horizon: flat start cycles are bounded by the sum of all
+		// effective latencies plus one resource stall per instruction,
+		// and any II past that bound satisfies every loop-carried edge,
+		// so the search always terminates.
+		maxII = 1
+		bus := req.Machine.BusLatency()
+		for _, in := range req.Loop.Instrs {
+			maxII += req.Machine.Latency(in.Class) + bus + 1
+		}
+		if maxII < mii.MII {
+			maxII = mii.MII
+		}
+	}
+	for ii := mii.MII; ii <= maxII; ii++ {
+		s, ok := ls.tryII(req, g, order, ii)
+		if !ok {
+			continue
+		}
+		if err := s.Validate(); err == nil {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: list: no valid schedule for loop %q on %q within II <= %d",
+		req.Loop.Name, req.Machine.Name, maxII)
+}
+
+// placementOrder returns the intra-iteration topological order, with ties
+// broken by descending dependence height (longest latency path to a sink
+// through distance-0 edges), the classic list-scheduling priority.
+func placementOrder(g *ir.Graph) ([]int, error) {
+	topo, err := g.IntraTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	height := make([]int, g.NumNodes())
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, e := range g.Succs(v) {
+			if e.Distance != 0 {
+				continue
+			}
+			if h := e.Latency + height[e.To]; h > height[v] {
+				height[v] = h
+			}
+		}
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range topo {
+		pos[v] = i
+	}
+	order := append([]int(nil), topo...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if height[order[a]] != height[order[b]] {
+			return height[order[a]] > height[order[b]]
+		}
+		return pos[order[a]] < pos[order[b]]
+	})
+	// Sorting by height alone can break topological validity when a low
+	// node has high height; re-impose topology with a stable insertion
+	// pass: process sorted candidates, emitting each only once all its
+	// distance-0 predecessors are emitted.
+	emitted := make([]bool, g.NumNodes())
+	ready := func(v int) bool {
+		for _, e := range g.Preds(v) {
+			if e.Distance == 0 && !emitted[e.From] {
+				return false
+			}
+		}
+		return true
+	}
+	var final []int
+	for len(final) < len(order) {
+		progress := false
+		for _, v := range order {
+			if emitted[v] || !ready(v) {
+				continue
+			}
+			emitted[v] = true
+			final = append(final, v)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("sched: list: priority order stuck on loop %q", g.Loop.Name)
+		}
+	}
+	return final, nil
+}
+
+// tryII attempts one greedy placement pass at a fixed II. ok=false means
+// some instruction found no free slot within its II-cycle window.
+func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii int) (*Schedule, bool) {
+	m := req.Machine
+	mrt, err := NewMRT(m, ii)
+	if err != nil {
+		return nil, false
+	}
+	placed := make([]bool, g.NumNodes())
+	plc := make([]Placement, g.NumNodes())
+	bus := m.BusLatency()
+
+	for _, id := range order {
+		in := req.Loop.Instrs[id]
+		preds := g.Preds(id)
+		type cand struct{ cycle, cluster, slot int }
+		best := cand{cycle: -1}
+		for ci := 0; ci < m.NumClusters(); ci++ {
+			// Earliest start on this cluster given already-placed
+			// predecessors (cross-cluster true deps pay the bus).
+			est := 0
+			for _, e := range preds {
+				if !placed[e.From] {
+					continue
+				}
+				lat := e.Latency
+				if e.Kind == ir.DepTrue && plc[e.From].Cluster != ci {
+					lat += bus
+				}
+				if t := plc[e.From].Cycle + lat - e.Distance*ii; t > est {
+					est = t
+				}
+			}
+			// The II consecutive cycles from est cover every modulo
+			// class; if none has a free compatible slot this cluster
+			// cannot take the instruction at this II.
+			for t := est; t < est+ii; t++ {
+				if slot, ok := mrt.FreeSlot(ci, t, in.Class); ok {
+					if best.cycle == -1 || t < best.cycle {
+						best = cand{cycle: t, cluster: ci, slot: slot}
+					}
+					break
+				}
+			}
+		}
+		if best.cycle == -1 {
+			return nil, false
+		}
+		if err := mrt.Reserve(best.cluster, best.slot, best.cycle, id); err != nil {
+			return nil, false
+		}
+		plc[id] = Placement{Cycle: best.cycle, Cluster: best.cluster, Slot: best.slot}
+		placed[id] = true
+	}
+	return &Schedule{
+		Loop:       req.Loop,
+		Machine:    m,
+		Graph:      g,
+		II:         ii,
+		Placements: plc,
+		By:         ls.Name(),
+	}, true
+}

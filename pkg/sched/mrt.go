@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// MRT is the modulo reservation table: for a fixed initiation interval II
+// it records which instruction occupies each (cluster, slot, cycle mod II)
+// resource. Schedulers use it to find free compatible slots and to keep
+// the modulo resource constraint by construction; Release exists so
+// backtracking schedulers (the paper's MIRS ejects and reschedules
+// operations) can undo reservations.
+type MRT struct {
+	mach *machine.Machine
+	ii   int
+	// slots[cluster][slot][cycle mod ii] holds the occupying instruction
+	// ID, or -1 when free.
+	slots [][][]int
+}
+
+// NewMRT returns an empty reservation table for machine m at the given II.
+func NewMRT(m *machine.Machine, ii int) (*MRT, error) {
+	if ii < 1 {
+		return nil, fmt.Errorf("sched: MRT with II %d < 1", ii)
+	}
+	t := &MRT{mach: m, ii: ii, slots: make([][][]int, m.NumClusters())}
+	for ci := range m.Clusters {
+		t.slots[ci] = make([][]int, len(m.Clusters[ci].Units))
+		for ui := range m.Clusters[ci].Units {
+			row := make([]int, ii)
+			for c := range row {
+				row[c] = -1
+			}
+			t.slots[ci][ui] = row
+		}
+	}
+	return t, nil
+}
+
+// II returns the table's initiation interval.
+func (t *MRT) II() int { return t.ii }
+
+func (t *MRT) mod(cycle int) int { return ((cycle % t.ii) + t.ii) % t.ii }
+
+// At returns the instruction occupying (cluster, slot, cycle mod II), or
+// -1 when the slot is free.
+func (t *MRT) At(cluster, slot, cycle int) int {
+	return t.slots[cluster][slot][t.mod(cycle)]
+}
+
+// Reserve claims (cluster, slot, cycle mod II) for instruction id. It
+// fails if the slot is already taken.
+func (t *MRT) Reserve(cluster, slot, cycle, id int) error {
+	c := t.mod(cycle)
+	if cur := t.slots[cluster][slot][c]; cur != -1 {
+		return fmt.Errorf("sched: cluster %d slot %d cycle %d already holds instruction %d", cluster, slot, c, cur)
+	}
+	t.slots[cluster][slot][c] = id
+	return nil
+}
+
+// Release frees (cluster, slot, cycle mod II), returning the evicted
+// instruction ID or -1 if the slot was already free.
+func (t *MRT) Release(cluster, slot, cycle int) int {
+	c := t.mod(cycle)
+	id := t.slots[cluster][slot][c]
+	t.slots[cluster][slot][c] = -1
+	return id
+}
+
+// FreeSlot returns a free slot on the given cluster at the given cycle
+// whose functional unit supports class, or ok=false when the cycle row is
+// full for that class. Among free candidates it picks the least flexible
+// unit (fewest supported classes, ties by index), so that multi-class
+// units stay available for the operations that have no alternative —
+// e.g. plain ALU ops avoid the one ALU slot that can also issue the
+// branch.
+func (t *MRT) FreeSlot(cluster, cycle int, class machine.OpClass) (slot int, ok bool) {
+	c := t.mod(cycle)
+	units := t.mach.Clusters[cluster].Units
+	best, bestClasses := -1, 0
+	for ui := range units {
+		if t.slots[cluster][ui][c] != -1 || !units[ui].Supports(class) {
+			continue
+		}
+		if best == -1 || len(units[ui].Classes) < bestClasses {
+			best, bestClasses = ui, len(units[ui].Classes)
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,237 @@
+// Package sched defines the modulo-scheduling layer: the pluggable
+// Scheduler interface, the Schedule result type keyed by (cycle, slot,
+// cluster), the modulo reservation table, and the MII lower bound
+// MII = max(ResMII, RecMII).
+//
+// The package deliberately separates the *contract* (Scheduler, Schedule,
+// Schedule.Validate) from any particular algorithm so alternative
+// backends — the paper's MIRS with integrated spilling, SAT/SMT-based
+// optimal schedulers, heuristic variants — can be slotted in behind the
+// same interface. ListScheduler is the reference baseline implementation.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// Request bundles the inputs of a scheduling run.
+type Request struct {
+	// Loop is the loop body to schedule.
+	Loop *ir.Loop
+	// Machine is the target machine description.
+	Machine *machine.Machine
+	// Graph is the loop's dependence graph. If nil the scheduler builds
+	// it with ir.Build's defaults; pass an explicit graph to add memory
+	// dependences or tune edge latencies.
+	Graph *ir.Graph
+	// MaxII caps the initiation-interval search. Zero means the
+	// scheduler picks a safe upper bound.
+	MaxII int
+	// MII optionally carries a precomputed ComputeMII result for Graph,
+	// so callers that already ran the analysis (e.g. the core facade)
+	// don't pay for Tarjan + the RecMII search twice. Leave nil to let
+	// the scheduler compute it.
+	MII *MII
+}
+
+// mii returns the request's MII bound, computing it on demand.
+func (r *Request) mii(g *ir.Graph) (MII, error) {
+	if r.MII != nil {
+		return *r.MII, nil
+	}
+	return ComputeMII(g, r.Machine)
+}
+
+// graph returns the request's dependence graph, building it on demand.
+func (r *Request) graph() (*ir.Graph, error) {
+	if r.Graph != nil {
+		return r.Graph, nil
+	}
+	return ir.Build(r.Loop, r.Machine, nil)
+}
+
+// Scheduler is the pluggable modulo-scheduler interface. Implementations
+// must return a schedule that passes Schedule.Validate, or an error.
+type Scheduler interface {
+	// Name identifies the backend ("list", "mirs", ...).
+	Name() string
+	// Schedule produces a modulo schedule for the request.
+	Schedule(req *Request) (*Schedule, error)
+}
+
+// Placement is where one instruction landed: issue cycle (flat, i.e. not
+// reduced modulo II), cluster index, and slot index within the cluster's
+// functional units.
+type Placement struct {
+	// Cycle is the issue cycle in the flat (non-modulo) schedule of one
+	// iteration; the steady-state kernel issues it at Cycle mod II.
+	Cycle int
+	// Cluster indexes Machine.Clusters.
+	Cluster int
+	// Slot indexes Machine.Clusters[Cluster].Units.
+	Slot int
+}
+
+// Schedule is the result of modulo-scheduling one loop: an initiation
+// interval and a placement — keyed by (cycle, slot, cluster) — for every
+// instruction.
+type Schedule struct {
+	// Loop and Machine are the scheduled loop and target.
+	Loop    *ir.Loop
+	Machine *machine.Machine
+	// Graph is the dependence graph the schedule was checked against.
+	Graph *ir.Graph
+	// II is the initiation interval: a new iteration starts every II
+	// cycles.
+	II int
+	// Placements is indexed by instruction ID.
+	Placements []Placement
+	// By is the name of the scheduler that produced the schedule.
+	By string
+}
+
+// Start returns the flat issue cycle of instruction id.
+func (s *Schedule) Start(id int) int { return s.Placements[id].Cycle }
+
+// At returns the ID of the instruction occupying (cycle mod II, cluster,
+// slot) in the steady-state kernel, or -1 if the slot is empty.
+func (s *Schedule) At(cycle, cluster, slot int) int {
+	mod := ((cycle % s.II) + s.II) % s.II
+	for id, p := range s.Placements {
+		if p.Cluster == cluster && p.Slot == slot && p.Cycle%s.II == mod {
+			return id
+		}
+	}
+	return -1
+}
+
+// Length returns the flat schedule length in cycles (last issue cycle +
+// 1), i.e. the single-iteration span before modulo wrapping.
+func (s *Schedule) Length() int {
+	max := 0
+	for _, p := range s.Placements {
+		if p.Cycle+1 > max {
+			max = p.Cycle + 1
+		}
+	}
+	return max
+}
+
+// StageCount returns the number of kernel stages, ceil(Length/II): how
+// many iterations overlap in the steady state.
+func (s *Schedule) StageCount() int {
+	return (s.Length() + s.II - 1) / s.II
+}
+
+// EdgeLatency returns the effective latency of dependence e under this
+// schedule's cluster assignment: the edge latency, plus the inter-cluster
+// bus latency when a true dependence crosses clusters.
+func (s *Schedule) EdgeLatency(e *ir.Edge) int {
+	lat := e.Latency
+	if e.Kind == ir.DepTrue && s.Placements[e.From].Cluster != s.Placements[e.To].Cluster {
+		lat += s.Machine.BusLatency()
+	}
+	return lat
+}
+
+// Validate checks that the schedule is well formed and respects every
+// machine and dependence constraint:
+//
+//   - II >= 1 and every instruction has a placement inside the machine
+//     (valid cluster, valid slot, non-negative cycle);
+//   - the slot's functional unit supports the instruction's class;
+//   - no two instructions occupy the same (cluster, slot, cycle mod II)
+//     — the modulo resource constraint;
+//   - for every dependence edge, start(To) >= start(From) +
+//     EdgeLatency(e) - Distance*II.
+//
+// It returns nil for a valid schedule and a descriptive error for the
+// first violation found.
+func (s *Schedule) Validate() error {
+	if s.II < 1 {
+		return fmt.Errorf("sched: II %d < 1", s.II)
+	}
+	if s.Loop == nil || s.Machine == nil || s.Graph == nil {
+		return fmt.Errorf("sched: schedule missing loop, machine or graph")
+	}
+	n := s.Loop.NumInstrs()
+	if len(s.Placements) != n {
+		return fmt.Errorf("sched: %d placements for %d instructions", len(s.Placements), n)
+	}
+	occupied := map[[3]int]int{} // (cluster, slot, cycle mod II) -> id
+	for id, p := range s.Placements {
+		in := s.Loop.Instrs[id]
+		if p.Cycle < 0 {
+			return fmt.Errorf("sched: instruction %d (%s) unscheduled (cycle %d)", id, in.Op, p.Cycle)
+		}
+		if p.Cluster < 0 || p.Cluster >= s.Machine.NumClusters() {
+			return fmt.Errorf("sched: instruction %d on invalid cluster %d", id, p.Cluster)
+		}
+		cl := &s.Machine.Clusters[p.Cluster]
+		if p.Slot < 0 || p.Slot >= len(cl.Units) {
+			return fmt.Errorf("sched: instruction %d on invalid slot %d of cluster %q", id, p.Slot, cl.Name)
+		}
+		fu := &cl.Units[p.Slot]
+		if !fu.Supports(in.Class) {
+			return fmt.Errorf("sched: instruction %d (%s, class %q) on unit %q.%q which does not support it",
+				id, in.Op, in.Class, cl.Name, fu.Name)
+		}
+		key := [3]int{p.Cluster, p.Slot, p.Cycle % s.II}
+		if other, clash := occupied[key]; clash {
+			return fmt.Errorf("sched: instructions %d and %d both occupy cluster %d slot %d cycle %d (mod II=%d)",
+				other, id, p.Cluster, p.Slot, p.Cycle%s.II, s.II)
+		}
+		occupied[key] = id
+	}
+	for i := range s.Graph.Edges {
+		e := &s.Graph.Edges[i]
+		need := s.Start(e.From) + s.EdgeLatency(e) - e.Distance*s.II
+		if s.Start(e.To) < need {
+			return fmt.Errorf("sched: %s dependence %d->%d (dist %d, lat %d) violated: start(%d)=%d < %d under II=%d",
+				e.Kind, e.From, e.To, e.Distance, s.EdgeLatency(e), e.To, s.Start(e.To), need, s.II)
+		}
+	}
+	return nil
+}
+
+// String renders the steady-state kernel as an II-row table, one column
+// per (cluster, slot), for debugging and golden tests.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s by %s: II=%d stages=%d\n", s.Loop.Name, s.Machine.Name, s.By, s.II, s.StageCount())
+	type col struct{ cluster, slot int }
+	var cols []col
+	for ci := range s.Machine.Clusters {
+		for ui := range s.Machine.Clusters[ci].Units {
+			cols = append(cols, col{ci, ui})
+		}
+	}
+	byKey := map[[3]int][]int{}
+	for id, p := range s.Placements {
+		k := [3]int{p.Cluster, p.Slot, p.Cycle % s.II}
+		byKey[k] = append(byKey[k], id)
+	}
+	for cyc := 0; cyc < s.II; cyc++ {
+		fmt.Fprintf(&b, "%3d |", cyc)
+		for _, c := range cols {
+			ids := byKey[[3]int{c.cluster, c.slot, cyc}]
+			sort.Ints(ids)
+			cell := "."
+			if len(ids) > 0 {
+				parts := make([]string, len(ids))
+				for i, id := range ids {
+					parts[i] = fmt.Sprintf("%s%d", s.Loop.Instrs[id].Op, id)
+				}
+				cell = strings.Join(parts, "/")
+			}
+			fmt.Fprintf(&b, " %-8s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

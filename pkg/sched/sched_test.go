@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+func machines() []*machine.Machine {
+	return []*machine.Machine{machine.Unified(), machine.Paper4Cluster()}
+}
+
+// TestListSchedulerValidOnAllExamples is the acceptance matrix: the
+// baseline scheduler must produce a Validate-clean schedule for every
+// example loop on both canned machine configurations, at or above MII.
+func TestListSchedulerValidOnAllExamples(t *testing.T) {
+	for _, m := range machines() {
+		for _, l := range ir.ExampleLoops() {
+			t.Run(m.Name+"/"+l.Name, func(t *testing.T) {
+				g := buildGraph(t, l, m)
+				mii, err := ComputeMII(g, m)
+				if err != nil {
+					t.Fatalf("ComputeMII: %v", err)
+				}
+				s, err := ListScheduler{}.Schedule(&Request{Loop: l, Machine: m, Graph: g})
+				if err != nil {
+					t.Fatalf("Schedule: %v", err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("Validate: %v\n%s", err, s)
+				}
+				if s.II < mii.MII {
+					t.Errorf("II = %d below MII = %d", s.II, mii.MII)
+				}
+				if s.By != "list" {
+					t.Errorf("By = %q, want list", s.By)
+				}
+				t.Logf("\n%s", s)
+			})
+		}
+	}
+}
+
+// TestListSchedulerHitsMIIOnUnified pins the baseline's quality on the
+// unified machine: no cluster penalties, so the greedy scheduler should
+// achieve II = MII on every example loop. This is the number MIRS has to
+// match before spilling can pay off.
+func TestListSchedulerHitsMIIOnUnified(t *testing.T) {
+	m := machine.Unified()
+	for _, l := range ir.ExampleLoops() {
+		g := buildGraph(t, l, m)
+		mii, err := ComputeMII(g, m)
+		if err != nil {
+			t.Fatalf("%s: ComputeMII: %v", l.Name, err)
+		}
+		s, err := ListScheduler{}.Schedule(&Request{Loop: l, Machine: m, Graph: g})
+		if err != nil {
+			t.Fatalf("%s: Schedule: %v", l.Name, err)
+		}
+		if s.II != mii.MII {
+			t.Errorf("%s: II = %d, want MII = %d\n%s", l.Name, s.II, mii.MII, s)
+		}
+	}
+}
+
+func TestScheduleAtAndLength(t *testing.T) {
+	m := machine.Unified()
+	l := ir.SingleInstruction()
+	s, err := ListScheduler{}.Schedule(&Request{Loop: l, Machine: m})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	p := s.Placements[0]
+	if got := s.At(p.Cycle, p.Cluster, p.Slot); got != 0 {
+		t.Errorf("At(placement) = %d, want 0", got)
+	}
+	if got := s.At(p.Cycle, p.Cluster, (p.Slot+1)%len(m.Clusters[0].Units)); got != -1 {
+		t.Errorf("At(empty slot) = %d, want -1", got)
+	}
+	if s.Length() < 1 || s.StageCount() < 1 {
+		t.Errorf("Length = %d, StageCount = %d; want >= 1", s.Length(), s.StageCount())
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	m := machine.Unified()
+	l := ir.DotProduct()
+	g := buildGraph(t, l, m)
+	base, err := ListScheduler{}.Schedule(&Request{Loop: l, Machine: m, Graph: g})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+
+	clone := func() *Schedule {
+		s := *base
+		s.Placements = append([]Placement(nil), base.Placements...)
+		return &s
+	}
+
+	s := clone()
+	s.II = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "II") {
+		t.Errorf("want II error, got %v", err)
+	}
+
+	// Two instructions of the same class on the same slot and congruent
+	// cycles: modulo resource conflict.
+	s = clone()
+	s.Placements[4] = s.Placements[5]
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "occupy") {
+		t.Errorf("want resource conflict, got %v", err)
+	}
+
+	// The multiply on a memory port: class mismatch.
+	s = clone()
+	bad := s.Placements[2]
+	for ui, fu := range m.Clusters[0].Units {
+		if fu.Supports(machine.ClassMem) && !fu.Supports(machine.ClassMul) {
+			bad.Slot = ui
+		}
+	}
+	s.Placements[2] = bad
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Errorf("want class mismatch, got %v", err)
+	}
+
+	// Consumer issued before its producer's latency elapses.
+	s = clone()
+	s.Placements[2].Cycle = s.Placements[0].Cycle
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "dependence") {
+		t.Errorf("want dependence violation, got %v", err)
+	}
+
+	// Out-of-range cluster.
+	s = clone()
+	s.Placements[0].Cluster = 7
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "invalid cluster") {
+		t.Errorf("want cluster error, got %v", err)
+	}
+}
+
+func TestCrossClusterLatencyRespected(t *testing.T) {
+	// Two clusters with one ALU each force the two-instruction chain
+	// apart only if the scheduler chooses; either way Validate must
+	// account for the bus latency the schedule implies.
+	m := machine.NewBuilder("two").
+		Latency(machine.ClassALU, 1).
+		Cluster("c0", 8, machine.FU("a0", machine.ClassALU)).
+		Cluster("c1", 8, machine.FU("a1", machine.ClassALU)).
+		Bus("x", 1, 3).
+		MustBuild()
+	l := &ir.Loop{Name: "chain", Instrs: []*ir.Instruction{
+		{ID: 0, Op: "add", Class: machine.ClassALU, Defs: []ir.VReg{1}, Uses: []ir.VReg{0}},
+		{ID: 1, Op: "add", Class: machine.ClassALU, Defs: []ir.VReg{2}, Uses: []ir.VReg{1}},
+		{ID: 2, Op: "add", Class: machine.ClassALU, Defs: []ir.VReg{0}, Uses: []ir.VReg{0}},
+	}}
+	g := buildGraph(t, l, m)
+	s, err := ListScheduler{}.Schedule(&Request{Loop: l, Machine: m, Graph: g})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, s)
+	}
+	// Force producer and consumer onto different clusters at a gap below
+	// the bus latency: Validate must object.
+	bad := *s
+	bad.Placements = append([]Placement(nil), s.Placements...)
+	bad.Placements[0] = Placement{Cycle: 0, Cluster: 0, Slot: 0}
+	bad.Placements[1] = Placement{Cycle: 1, Cluster: 1, Slot: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a cross-cluster chain tighter than the bus latency")
+	}
+}
+
+func TestMRT(t *testing.T) {
+	m := machine.Unified()
+	mrt, err := NewMRT(m, 3)
+	if err != nil {
+		t.Fatalf("NewMRT: %v", err)
+	}
+	if mrt.II() != 3 {
+		t.Errorf("II = %d, want 3", mrt.II())
+	}
+	if err := mrt.Reserve(0, 0, 4, 9); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	// 4 mod 3 == 1: cycle 1 (and 7, and -2) now occupied.
+	if got := mrt.At(0, 0, 7); got != 9 {
+		t.Errorf("At(cycle 7) = %d, want 9", got)
+	}
+	if got := mrt.At(0, 0, -2); got != 9 {
+		t.Errorf("At(cycle -2) = %d, want 9", got)
+	}
+	if err := mrt.Reserve(0, 0, 1, 8); err == nil {
+		t.Error("Reserve accepted a conflicting claim")
+	}
+	// FreeSlot must skip the busy unit but find another ALU.
+	slot, ok := mrt.FreeSlot(0, 1, machine.ClassALU)
+	if !ok || slot == 0 {
+		t.Errorf("FreeSlot = (%d, %v), want a free non-zero ALU slot", slot, ok)
+	}
+	if got := mrt.Release(0, 0, 1); got != 9 {
+		t.Errorf("Release = %d, want 9", got)
+	}
+	if got := mrt.At(0, 0, 1); got != -1 {
+		t.Errorf("At after Release = %d, want -1", got)
+	}
+	if _, err := NewMRT(m, 0); err == nil {
+		t.Error("NewMRT accepted II = 0")
+	}
+}
+
+func BenchmarkListSchedulerDotProductUnified(b *testing.B) {
+	m := machine.Unified()
+	l := ir.DotProduct()
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ListScheduler{}).Schedule(&Request{Loop: l, Machine: m, Graph: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListSchedulerFIRClustered(b *testing.B) {
+	m := machine.Paper4Cluster()
+	l := ir.FIR()
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ListScheduler{}).Schedule(&Request{Loop: l, Machine: m, Graph: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeMII(b *testing.B) {
+	m := machine.Unified()
+	l := ir.Livermore()
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeMII(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
