@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// BenchmarkCompile is the backend-quality trajectory benchmark: every
+// registered backend against every reference machine over the whole
+// example corpus. Besides ns/op it reports the summed II and MaxLive
+// across the corpus, so CI logs accumulate a quality trend (lower is
+// better on all three axes) alongside the usual speed numbers. Run as
+//
+//	go test -run '^$' -bench BenchmarkCompile ./internal/core/
+func BenchmarkCompile(b *testing.B) {
+	machines := []struct {
+		name string
+		m    *machine.Machine
+	}{
+		{"Unified", machine.Unified()},
+		{"Paper4Cluster", machine.Paper4Cluster()},
+	}
+	for _, be := range Backends() {
+		for _, mc := range machines {
+			b.Run(fmt.Sprintf("%sx%s", be.Name(), mc.name), func(b *testing.B) {
+				loops := ir.ExampleLoops()
+				var sumII, sumMaxLive int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sumII, sumMaxLive = 0, 0
+					for _, l := range loops {
+						r, err := CompileWith(be, l, mc.m)
+						if err != nil {
+							b.Fatalf("%s on %s: %v", l.Name, mc.name, err)
+						}
+						sumII += r.Schedule.II
+						sumMaxLive += r.Pressure.MaxLive
+					}
+				}
+				b.ReportMetric(float64(sumII), "II")
+				b.ReportMetric(float64(sumMaxLive), "MaxLive")
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/mirs"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 )
@@ -29,7 +30,9 @@ type (
 
 // Result is everything one compilation produces.
 type Result struct {
-	// Graph is the loop's data dependence graph.
+	// Graph is the input loop's data dependence graph. A spilling backend
+	// may schedule an augmented clone instead; Schedule.Loop and
+	// Schedule.Graph are the versions the placements actually refer to.
 	Graph *ir.Graph
 	// MII is the initiation-interval lower bound max(ResMII, RecMII).
 	MII sched.MII
@@ -39,17 +42,32 @@ type Result struct {
 	Pressure *regpress.Result
 }
 
-// Summary renders a one-line result digest for logs and CLIs.
+// Summary renders a one-line result digest for logs and CLIs. Backends
+// that spill report their store/reload traffic and the II increase
+// pressure cost them (from Schedule.Stats).
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%s on %s: II=%d (ResMII=%d RecMII=%d) stages=%d MaxLive=%d by %s",
+	s := fmt.Sprintf("%s on %s: II=%d (ResMII=%d RecMII=%d) stages=%d MaxLive=%d by %s",
 		r.Schedule.Loop.Name, r.Schedule.Machine.Name, r.Schedule.II,
 		r.MII.Res, r.MII.Rec, r.Schedule.StageCount(), r.Pressure.MaxLive, r.Schedule.By)
+	if st := r.Schedule.Stats; st != nil && st["spill_stores"]+st["spill_loads"] > 0 {
+		s += fmt.Sprintf(" spills=%d/%d(+%dII)", st["spill_stores"], st["spill_loads"], st["spill_ii_increase"])
+	}
+	return s
 }
 
 // Compile runs the full pipeline on loop l for machine m with the default
 // baseline backend (the list scheduler).
 func Compile(l *ir.Loop, m *machine.Machine) (*Result, error) {
 	return CompileWith(sched.ListScheduler{}, l, m)
+}
+
+// Backends returns the registered scheduler backends, baseline first:
+// the greedy list scheduler and the paper's MIRS (backtracking with
+// integrated register spilling). Benchmarks and corpus sweeps iterate
+// this list so every new backend is exercised by CompileWith across the
+// whole example corpus.
+func Backends() []sched.Scheduler {
+	return []sched.Scheduler{sched.ListScheduler{}, mirs.New()}
 }
 
 // CompileWith is Compile with an explicit scheduler backend: it builds

@@ -69,6 +69,37 @@ func TestCompileWithNilScheduler(t *testing.T) {
 	}
 }
 
+// TestBackendsRunFullCorpus: every registered backend compiles the whole
+// corpus on every canned machine through the facade — the contract the
+// Backends registry exists for. On the register-starved machine the MIRS
+// backend must additionally fit every register file.
+func TestBackendsRunFullCorpus(t *testing.T) {
+	if len(Backends()) < 2 {
+		t.Fatalf("Backends() = %d entries, want the baseline and mirs", len(Backends()))
+	}
+	for _, be := range Backends() {
+		for _, m := range []*Machine{machine.Unified(), machine.Paper4Cluster(), machine.Tight()} {
+			for _, l := range ir.ExampleLoops() {
+				t.Run(be.Name()+"/"+m.Name+"/"+l.Name, func(t *testing.T) {
+					r, err := CompileWith(be, l, m)
+					if err != nil {
+						if be.Name() == "mirs" {
+							t.Fatalf("CompileWith: %v", err)
+						}
+						t.Skipf("baseline cannot schedule: %v", err)
+					}
+					if be.Name() == "mirs" && !r.Pressure.Fits() {
+						t.Errorf("mirs pressure %v exceeds register files of %s", r.Pressure.MaxLivePerCluster, m.Name)
+					}
+					if s := r.Summary(); !strings.Contains(s, "by "+be.Name()) {
+						t.Errorf("Summary = %q, want backend name", s)
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestCompileRejectsUnschedulableLoop(t *testing.T) {
 	l := &ir.Loop{Name: "fp", Instrs: []*ir.Instruction{
 		{ID: 0, Op: "sqrt", Class: machine.OpClass("fpu"), Defs: []ir.VReg{0}},

@@ -101,8 +101,103 @@ func SingleInstruction() *Loop {
 	}}
 }
 
+// FIR8 returns an unrolled 8-tap FIR body that re-loads its coefficients
+// every iteration (as a compiler would after running out of registers to
+// keep them in): sixteen loads feeding eight multiplies and a reduction
+// tree. The sixteen loaded values and eight products are alive across the
+// whole tree, so MaxLive far exceeds a small register file — this is the
+// high-pressure, resource-bound spill workload.
+//
+//	v0 = &x[i], v1 = &c[0], v20 = &y[i]   (v1 re-derived per iteration)
+func FIR8() *Loop {
+	l := &Loop{Name: "fir8"}
+	id := 0
+	add := func(op string, class machine.OpClass, defs, uses []VReg) {
+		l.Instrs = append(l.Instrs, ins(id, op, class, defs, uses))
+		id++
+	}
+	// Eight sample loads (v2..v9) and eight coefficient loads (v10..v17).
+	for k := 0; k < 8; k++ {
+		add("load", machine.ClassMem, []VReg{VReg(2 + k)}, []VReg{0})
+	}
+	for k := 0; k < 8; k++ {
+		add("load", machine.ClassMem, []VReg{VReg(10 + k)}, []VReg{1})
+	}
+	// Eight products (v22..v29).
+	for k := 0; k < 8; k++ {
+		add("fmul", machine.ClassMul, []VReg{VReg(22 + k)}, []VReg{VReg(2 + k), VReg(10 + k)})
+	}
+	// Reduction tree: 4 + 2 + 1 adds (v30..v36).
+	add("fadd", machine.ClassALU, []VReg{30}, []VReg{22, 23})
+	add("fadd", machine.ClassALU, []VReg{31}, []VReg{24, 25})
+	add("fadd", machine.ClassALU, []VReg{32}, []VReg{26, 27})
+	add("fadd", machine.ClassALU, []VReg{33}, []VReg{28, 29})
+	add("fadd", machine.ClassALU, []VReg{34}, []VReg{30, 31})
+	add("fadd", machine.ClassALU, []VReg{35}, []VReg{32, 33})
+	add("fadd", machine.ClassALU, []VReg{36}, []VReg{34, 35})
+	add("store", machine.ClassMem, nil, []VReg{36, 20})
+	add("add", machine.ClassALU, []VReg{0}, []VReg{0})
+	add("add", machine.ClassALU, []VReg{1}, []VReg{1})
+	add("add", machine.ClassALU, []VReg{20}, []VReg{20})
+	add("br", machine.ClassBranch, nil, []VReg{0})
+	return l
+}
+
+// Hydro returns a Livermore kernel 7 (equation-of-state fragment) style
+// body: x[i] = u[i] + r*(z[i] + r*y[i]) + t*(u[i+3] + r*(u[i+2] +
+// r*u[i+1]) + t*(u[i+6] + q*(u[i+5] + q*u[i+4]))). Nine loads feed a deep
+// multiply/add lattice whose intermediate terms are all simultaneously
+// live near the final sums, with the scalars q, r, t live-in throughout —
+// the second high-pressure workload, heavier on multiplies than FIR8.
+//
+//	v0 = &u[i], v1 = &z[i], v2 = &y[i], v3 = &x[i] (live address regs)
+//	v4 = q, v5 = r, v6 = t (live-in scalars)
+func Hydro() *Loop {
+	l := &Loop{Name: "hydro"}
+	id := 0
+	add := func(op string, class machine.OpClass, defs, uses []VReg) {
+		l.Instrs = append(l.Instrs, ins(id, op, class, defs, uses))
+		id++
+	}
+	// Loads: u[i..i+6] -> v10..v16, z[i] -> v17, y[i] -> v18.
+	for k := 0; k < 7; k++ {
+		add("load", machine.ClassMem, []VReg{VReg(10 + k)}, []VReg{0})
+	}
+	add("load", machine.ClassMem, []VReg{17}, []VReg{1})
+	add("load", machine.ClassMem, []VReg{18}, []VReg{2})
+	// Inner term: r*(z + r*y).
+	add("fmul", machine.ClassMul, []VReg{20}, []VReg{5, 18}) // r*y
+	add("fadd", machine.ClassALU, []VReg{21}, []VReg{17, 20})
+	add("fmul", machine.ClassMul, []VReg{22}, []VReg{5, 21})
+	// Middle term: r*(u[i+2] + r*u[i+1]) then + u[i+3].
+	add("fmul", machine.ClassMul, []VReg{23}, []VReg{5, 11})
+	add("fadd", machine.ClassALU, []VReg{24}, []VReg{12, 23})
+	add("fmul", machine.ClassMul, []VReg{25}, []VReg{5, 24})
+	add("fadd", machine.ClassALU, []VReg{26}, []VReg{13, 25})
+	// Outer term: q*(u[i+5] + q*u[i+4]) then + u[i+6], scaled by t.
+	add("fmul", machine.ClassMul, []VReg{27}, []VReg{4, 14})
+	add("fadd", machine.ClassALU, []VReg{28}, []VReg{15, 27})
+	add("fmul", machine.ClassMul, []VReg{29}, []VReg{4, 28})
+	add("fadd", machine.ClassALU, []VReg{30}, []VReg{16, 29})
+	add("fmul", machine.ClassMul, []VReg{31}, []VReg{6, 30})
+	// Combine: u[i] + inner + t*(middle + outer-scaled).
+	add("fadd", machine.ClassALU, []VReg{32}, []VReg{26, 31})
+	add("fmul", machine.ClassMul, []VReg{33}, []VReg{6, 32})
+	add("fadd", machine.ClassALU, []VReg{34}, []VReg{10, 22})
+	add("fadd", machine.ClassALU, []VReg{35}, []VReg{33, 34})
+	add("store", machine.ClassMem, nil, []VReg{35, 3})
+	add("add", machine.ClassALU, []VReg{0}, []VReg{0})
+	add("add", machine.ClassALU, []VReg{1}, []VReg{1})
+	add("add", machine.ClassALU, []VReg{2}, []VReg{2})
+	add("add", machine.ClassALU, []VReg{3}, []VReg{3})
+	add("br", machine.ClassBranch, nil, []VReg{0})
+	return l
+}
+
 // ExampleLoops returns the full example library, the corpus the tier-1
-// scheduler tests run over.
+// scheduler tests run over: the three classic regimes plus the two
+// high-pressure bodies (FIR8, Hydro) that exercise integrated spilling on
+// register-starved machines.
 func ExampleLoops() []*Loop {
-	return []*Loop{DotProduct(), FIR(), Livermore(), SingleInstruction()}
+	return []*Loop{DotProduct(), FIR(), Livermore(), SingleInstruction(), FIR8(), Hydro()}
 }

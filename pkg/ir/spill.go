@@ -1,0 +1,268 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// This file synthesises spill code: given a victim definition, it clones
+// the loop with a store inserted right after the definition and one
+// reload inserted right before each consumer, rewires the consumers onto
+// fresh virtual registers, and rebuilds the dependence graph with the
+// store→reload memory edges that keep the spilled value's round trip
+// ordered. The MIRS backend uses it to shorten over-long lifetimes while
+// a schedule is in flight; the old instructions keep their placements via
+// the returned ID mapping and only the new store/reloads need scheduling.
+
+// OpSpillStore and OpSpillReload are the mnemonics of synthesised spill
+// instructions. Both are ClassMem: spill code competes for memory ports
+// like any other load or store, which is exactly the paper's point about
+// integrating spilling with scheduling.
+const (
+	OpSpillStore  = "spill.st"
+	OpSpillReload = "spill.ld"
+)
+
+// Spill is the result of materialising one spill.
+type Spill struct {
+	// Loop is the rewritten loop; the original is untouched.
+	Loop *Loop
+	// Graph is the dependence graph of Loop, including the store→reload
+	// memory edges and any DepMem edges carried over (remapped) from the
+	// graph the spill was derived from.
+	Graph *Graph
+	// StoreID is the new spill store's instruction ID in Loop, or -1 for
+	// a live-in spill (the value already lives in memory; only reloads
+	// are needed).
+	StoreID int
+	// ReloadIDs are the new reload instruction IDs, one per rewritten
+	// consumer, in body order.
+	ReloadIDs []int
+	// ReloadRegs are the fresh virtual registers the reloads define,
+	// parallel to ReloadIDs.
+	ReloadRegs []VReg
+	// OldToNew maps every instruction ID of the source loop to its ID in
+	// Loop, so an in-flight schedule can carry its placements across.
+	OldToNew []int
+}
+
+// MaterializeSpill spills the value that instruction defID writes to reg:
+// the consumers of that definition (true-dependence readers, taken from
+// g) are rewired to read fresh registers defined by per-consumer reloads,
+// a store of reg is inserted immediately after the definition, and each
+// reload sits immediately before its consumer so nearest-def semantics
+// reproduce the intended graph on rebuild. A consumer at dependence
+// distance d gets a store→reload DepMem edge with distance d: the reload
+// reads what the store wrote d iterations earlier. DepMem edges already
+// present in g are carried over with remapped endpoints.
+//
+// The spilled definition's lifetime shrinks to definition→store, and each
+// reload's to reload→consumer — that is the pressure relief. The cost is
+// two ClassMem operations plus memory latency on the consumer's path.
+func MaterializeSpill(l *Loop, m *machine.Machine, g *Graph, defID int, reg VReg, opts *BuildOptions) (*Spill, error) {
+	if g == nil || g.Loop != l {
+		return nil, fmt.Errorf("ir: spill of %s in loop %q: graph does not belong to the loop", reg, l.Name)
+	}
+	if defID < 0 || defID >= l.NumInstrs() {
+		return nil, fmt.Errorf("ir: spill of %s: no instruction %d in loop %q", reg, defID, l.Name)
+	}
+	defines := false
+	for _, d := range l.Instrs[defID].Defs {
+		if d == reg {
+			defines = true
+		}
+	}
+	if !defines {
+		return nil, fmt.Errorf("ir: spill: instruction %d of loop %q does not define %s", defID, l.Name, reg)
+	}
+
+	// Consumers of this specific definition, with their dependence
+	// distances (Build emits one true edge per consumer per register).
+	consumerDist := map[int]int{}
+	var consumers []int
+	for _, e := range g.Succs(defID) {
+		if e.Kind != DepTrue || e.Reg != reg {
+			continue
+		}
+		if _, dup := consumerDist[e.To]; !dup {
+			consumers = append(consumers, e.To)
+		}
+		consumerDist[e.To] = e.Distance
+	}
+	if len(consumers) == 0 {
+		return nil, fmt.Errorf("ir: spill: definition of %s by instruction %d has no consumers", reg, defID)
+	}
+
+	nextReg := VReg(0)
+	for _, v := range l.VRegs() {
+		if v >= nextReg {
+			nextReg = v + 1
+		}
+	}
+
+	sp := &Spill{OldToNew: make([]int, l.NumInstrs())}
+	out := &Loop{Name: l.Name}
+	reloadReg := map[int]VReg{} // old consumer ID -> its fresh register
+	emit := func(in *Instruction) int {
+		in.ID = len(out.Instrs)
+		out.Instrs = append(out.Instrs, in)
+		return in.ID
+	}
+	for oldID, in := range l.Instrs {
+		if _, isConsumer := consumerDist[oldID]; isConsumer {
+			r := nextReg
+			nextReg++
+			reloadReg[oldID] = r
+			id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}})
+			sp.ReloadIDs = append(sp.ReloadIDs, id)
+			sp.ReloadRegs = append(sp.ReloadRegs, r)
+			clone := *in
+			clone.Uses = append([]VReg(nil), in.Uses...)
+			for i, u := range clone.Uses {
+				if u == reg {
+					clone.Uses[i] = r
+				}
+			}
+			if _, carried := in.CarriedUses[reg]; carried {
+				clone.CarriedUses = map[VReg]int{}
+				for v, d := range in.CarriedUses {
+					if v != reg {
+						clone.CarriedUses[v] = d
+					}
+				}
+				if len(clone.CarriedUses) == 0 {
+					clone.CarriedUses = nil
+				}
+			}
+			sp.OldToNew[oldID] = emit(&clone)
+		} else {
+			clone := *in
+			sp.OldToNew[oldID] = emit(&clone)
+		}
+		// A self-consuming definition (first-order recurrence) is both
+		// consumer and victim, so the store check runs on either path.
+		if oldID == defID {
+			sp.StoreID = emit(&Instruction{Op: OpSpillStore, Class: machine.ClassMem, Uses: []VReg{reg}})
+		}
+	}
+
+	ng, err := Build(out, m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ir: spill of %s (def %d) in loop %q: rebuild: %w", reg, defID, l.Name, err)
+	}
+	// Store→reload ordering: the reload reads what the store wrote
+	// Distance iterations earlier, so it must issue at least the store's
+	// completion (memory latency) later.
+	memLat := m.Latency(machine.ClassMem)
+	for _, oldConsumer := range consumers {
+		reloadID := sp.OldToNew[oldConsumer] - 1 // the reload sits right before its consumer
+		if err := ng.AddEdge(Edge{From: sp.StoreID, To: reloadID, Kind: DepMem,
+			Distance: consumerDist[oldConsumer], Latency: memLat}); err != nil {
+			return nil, err
+		}
+	}
+	// Carry over caller-provided memory edges from the source graph.
+	if err := carryMemEdges(ng, g, sp.OldToNew); err != nil {
+		return nil, err
+	}
+	sp.Loop = out
+	sp.Graph = ng
+	return sp, nil
+}
+
+func carryMemEdges(dst *Graph, src *Graph, oldToNew []int) error {
+	for _, e := range src.Edges {
+		if e.Kind != DepMem {
+			continue
+		}
+		ne := e
+		ne.From = oldToNew[e.From]
+		ne.To = oldToNew[e.To]
+		if err := dst.AddEdge(ne); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeLiveInSpill spills a live-in value — a register the loop
+// reads but never writes (loop invariants, coefficients, scalars). Such a
+// value occupies a register on every kernel cycle of every cluster that
+// consumes it, which makes it exactly the paper's preferred victim: the
+// longest possible lifetime with the fewest uses. Because the value
+// already exists outside the loop it needs no store — the preheader is
+// assumed to park it in its spill slot — so the rewrite just inserts one
+// reload before each consuming instruction and rewires that consumer to
+// the reload's fresh register. The returned Spill has StoreID == -1.
+func MaterializeLiveInSpill(l *Loop, m *machine.Machine, g *Graph, reg VReg, opts *BuildOptions) (*Spill, error) {
+	if g == nil || g.Loop != l {
+		return nil, fmt.Errorf("ir: live-in spill of %s in loop %q: graph does not belong to the loop", reg, l.Name)
+	}
+	var consumers []int
+	for id, in := range l.Instrs {
+		for _, d := range in.Defs {
+			if d == reg {
+				return nil, fmt.Errorf("ir: live-in spill: %s is defined by instruction %d of loop %q", reg, id, l.Name)
+			}
+		}
+		for _, u := range in.Uses {
+			if u == reg {
+				consumers = append(consumers, id)
+				break
+			}
+		}
+	}
+	if len(consumers) == 0 {
+		return nil, fmt.Errorf("ir: live-in spill: loop %q does not use %s", l.Name, reg)
+	}
+
+	nextReg := VReg(0)
+	for _, v := range l.VRegs() {
+		if v >= nextReg {
+			nextReg = v + 1
+		}
+	}
+	isConsumer := map[int]bool{}
+	for _, c := range consumers {
+		isConsumer[c] = true
+	}
+
+	sp := &Spill{StoreID: -1, OldToNew: make([]int, l.NumInstrs())}
+	out := &Loop{Name: l.Name}
+	emit := func(in *Instruction) int {
+		in.ID = len(out.Instrs)
+		out.Instrs = append(out.Instrs, in)
+		return in.ID
+	}
+	for oldID, in := range l.Instrs {
+		if !isConsumer[oldID] {
+			clone := *in
+			sp.OldToNew[oldID] = emit(&clone)
+			continue
+		}
+		r := nextReg
+		nextReg++
+		id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}})
+		sp.ReloadIDs = append(sp.ReloadIDs, id)
+		sp.ReloadRegs = append(sp.ReloadRegs, r)
+		clone := *in
+		clone.Uses = append([]VReg(nil), in.Uses...)
+		for i, u := range clone.Uses {
+			if u == reg {
+				clone.Uses[i] = r
+			}
+		}
+		sp.OldToNew[oldID] = emit(&clone)
+	}
+	ng, err := Build(out, m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ir: live-in spill of %s in loop %q: rebuild: %w", reg, l.Name, err)
+	}
+	if err := carryMemEdges(ng, g, sp.OldToNew); err != nil {
+		return nil, err
+	}
+	sp.Loop = out
+	sp.Graph = ng
+	return sp, nil
+}

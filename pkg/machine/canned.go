@@ -49,3 +49,37 @@ func Paper4Cluster() *Machine {
 	}
 	return b.MustBuild()
 }
+
+// Tight returns a deliberately register-starved two-cluster machine for
+// spill testing: a half-width Unified per cluster (one ALU/branch slot,
+// one multiplier, two memory ports) but only TightRegs registers per
+// file, so the high-pressure example loops overflow MaxLive under any
+// pressure-blind scheduler and force an integrated-spilling backend to
+// earn its keep. The memory ports are dedicated (not shared with the
+// multiplier as on Paper4Cluster) so spill stores and reloads have
+// bandwidth to land in — registers, not issue slots, are this machine's
+// scarce resource. Two buses, one-cycle transfer.
+func Tight() *Machine {
+	b := NewBuilder("tight").
+		Latency(ClassALU, 1).
+		Latency(ClassMul, 2).
+		Latency(ClassMem, 2).
+		Latency(ClassBranch, 1).
+		Bus("xbus", 2, 1)
+	for _, n := range []string{"t0", "t1"} {
+		b.Cluster(n, TightRegs,
+			FU(n+".alu", ClassALU, ClassBranch),
+			FU(n+".mul", ClassMul),
+			FU(n+".mem0", ClassMem),
+			FU(n+".mem1", ClassMem))
+	}
+	return b.MustBuild()
+}
+
+// TightRegs is the per-cluster register-file size of Tight(): small
+// enough that the high-pressure corpus loops (FIR8, Hydro) overflow
+// MaxLive under a pressure-blind scheduler, yet above the cluster's
+// saturation floor — a fully busy 4-issue cluster with 2-cycle latencies
+// keeps roughly issue-width × latency ≈ 10 values live no matter how the
+// code is arranged, and no amount of spilling can push below that.
+const TightRegs = 12

@@ -7,10 +7,33 @@ import (
 )
 
 func TestCannedConfigsValidate(t *testing.T) {
-	for _, m := range []*Machine{Unified(), Paper4Cluster()} {
+	for _, m := range []*Machine{Unified(), Paper4Cluster(), Tight()} {
 		if err := m.Validate(); err != nil {
 			t.Errorf("%s: %v", m.Name, err)
 		}
+	}
+}
+
+func TestTightShape(t *testing.T) {
+	m := Tight()
+	if got := m.NumClusters(); got != 2 {
+		t.Fatalf("NumClusters = %d, want 2", got)
+	}
+	for _, cl := range m.Clusters {
+		if cl.RegFile.Size != TightRegs {
+			t.Errorf("cluster %s register file = %d, want %d", cl.Name, cl.RegFile.Size, TightRegs)
+		}
+	}
+	if m.TotalRegisters() >= Paper4Cluster().TotalRegisters() {
+		t.Errorf("Tight has %d registers, not tighter than Paper4Cluster's %d",
+			m.TotalRegisters(), Paper4Cluster().TotalRegisters())
+	}
+	// Dedicated memory ports: spill code must not contend with multiplies.
+	if got := m.UnitsForClass(ClassMem); got != 4 {
+		t.Errorf("UnitsForClass(mem) = %d, want 4", got)
+	}
+	if got := m.BusCount(); got != 2 {
+		t.Errorf("BusCount = %d, want 2", got)
 	}
 }
 

@@ -1,0 +1,189 @@
+// Package mirs implements the paper's MIRS algorithm — Modulo scheduling
+// with Integrated Register Spilling (Zalamea, Llosa, Ayguadé, Valero,
+// MICRO 2001) — for clustered VLIW machines, behind the pluggable
+// sched.Scheduler interface.
+//
+// MIRS decides scheduling, cluster assignment and register spilling in a
+// single pass. For each candidate II starting at MII it places operations
+// in height-priority order, probing the modulo reservation table across
+// clusters within each operation's deadline window (earliest start from
+// placed predecessors, latest start from placed successors, cross-cluster
+// true dependences paying bus latency and bus bandwidth). When no
+// position is free the scheduler does not give up like the baseline list
+// scheduler: it *force-places* the operation and ejects whatever
+// conflicts — the slot's occupant, successors whose deadlines broke, bus
+// transfers in the way — via MRT.Release, spending a bounded backtracking
+// budget. Whenever a cluster's register pressure exceeds its file
+// (tracked incrementally per placement, settled authoritatively by
+// regpress.Analyze), it selects a victim lifetime — longest lifetime,
+// fewest uses, per the paper — materialises a store/reload pair as new IR
+// instructions with memory dependence edges (ir.MaterializeSpill), and
+// schedules the spill code inside the ongoing schedule. Only when the
+// budget is exhausted does II escalate.
+package mirs
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/regpress"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// Options tunes the backtracking and spilling budgets.
+type Options struct {
+	// MaxRetries scales the backtracking budget: at each candidate II the
+	// scheduler may force-place (ejecting conflicting operations) at most
+	// MaxRetries times per instruction before escalating II.
+	MaxRetries int
+	// MaxSpills caps the spills materialised at one candidate II; past it
+	// the scheduler escalates II instead of spilling further. Zero
+	// disables spilling entirely; negative means "derive from loop size"
+	// (2 × the instruction count), which is the default.
+	MaxSpills int
+}
+
+// Option mutates Options; pass them to New.
+type Option func(*Options)
+
+// WithMaxRetries overrides the per-instruction force-placement budget.
+func WithMaxRetries(n int) Option { return func(o *Options) { o.MaxRetries = n } }
+
+// WithMaxSpills overrides the per-II spill cap; 0 disables spilling.
+func WithMaxSpills(n int) Option { return func(o *Options) { o.MaxSpills = n } }
+
+// Scheduler is the MIRS backend. The zero value is not useful; construct
+// with New.
+type Scheduler struct {
+	opts Options
+}
+
+// New returns a MIRS scheduler with default budgets, adjusted by opts.
+func New(opts ...Option) *Scheduler {
+	o := Options{MaxRetries: 8, MaxSpills: -1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Scheduler{opts: o}
+}
+
+// Name returns "mirs".
+func (s *Scheduler) Name() string { return "mirs" }
+
+// Schedule implements sched.Scheduler. The returned schedule's Loop and
+// Graph are the (possibly spill-augmented) versions the placements refer
+// to; Stats reports spill_stores, spill_loads, ejections, and the
+// II increase attributable to register pressure (spill_ii_increase: final
+// II minus the smallest II at which a complete placement existed before
+// pressure was considered).
+func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
+	if req == nil || req.Loop == nil || req.Machine == nil {
+		return nil, fmt.Errorf("mirs: request missing loop or machine")
+	}
+	g := req.Graph
+	if g == nil {
+		var err error
+		g, err = ir.Build(req.Loop, req.Machine, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var mii sched.MII
+	if req.MII != nil {
+		mii = *req.MII
+	} else {
+		var err error
+		mii, err = sched.ComputeMII(g, req.Machine)
+		if err != nil {
+			return nil, err
+		}
+	}
+	maxII := req.MaxII
+	if maxII <= 0 {
+		// Safe horizon as in the list scheduler, doubled with headroom:
+		// spill code grows the loop, and every II past the bound trivially
+		// satisfies loop-carried edges, so the search always terminates.
+		// An explicit cap below MII is honoured as stated (and fails).
+		base := 1
+		bus := req.Machine.BusLatency()
+		for _, in := range req.Loop.Instrs {
+			base += req.Machine.Latency(in.Class) + bus + 1
+		}
+		maxII = 2*base + 8
+		if maxII < mii.MII {
+			maxII = mii.MII
+		}
+	}
+	maxSpills := s.opts.MaxSpills
+	if maxSpills < 0 {
+		maxSpills = 2 * req.Loop.NumInstrs()
+	}
+
+	firstComplete := 0
+	for ii := mii.MII; ii <= maxII; ii++ {
+		out, completed, err := s.tryII(req.Loop, g, req.Machine, ii, maxSpills)
+		if err != nil {
+			return nil, err
+		}
+		if completed && firstComplete == 0 {
+			firstComplete = ii
+		}
+		if out != nil {
+			out.Stats["ii_over_mii"] = ii - mii.MII
+			if firstComplete > 0 {
+				out.Stats["spill_ii_increase"] = ii - firstComplete
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("mirs: no valid schedule for loop %q on %q within II <= %d",
+		req.Loop.Name, req.Machine.Name, maxII)
+}
+
+// tryII attempts one candidate II. It returns the schedule on success;
+// completed reports whether a full placement (pressure aside) was ever
+// reached at this II, which Schedule uses to attribute II increases to
+// spilling. A nil schedule with nil error means "escalate II".
+func (s *Scheduler) tryII(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxSpills int) (*sched.Schedule, bool, error) {
+	st, err := newState(loop, g, m, ii, s.opts.MaxRetries, maxSpills)
+	if err != nil {
+		return nil, false, err
+	}
+	completed := false
+	for {
+		u := st.nextUnplaced()
+		if u < 0 {
+			completed = true
+			st.compact()
+			out := st.schedule(s.Name())
+			if err := out.Validate(); err != nil {
+				return nil, completed, fmt.Errorf("mirs: internal: schedule failed validation at II=%d: %w", ii, err)
+			}
+			press, err := regpress.Analyze(out)
+			if err != nil {
+				return nil, completed, fmt.Errorf("mirs: internal: %w", err)
+			}
+			if press.Fits() {
+				return out, completed, nil
+			}
+			// The authoritative analysis says some register file
+			// overflows: spill and keep scheduling (the spill code is now
+			// unplaced), or escalate II when out of victims or budget.
+			if !st.relieveWorst(press) {
+				return nil, completed, nil
+			}
+			continue
+		}
+		if !st.place(u) {
+			return nil, completed, nil
+		}
+		// Opportunistic relief as pressure builds; the final
+		// regpress.Analyze pass above settles any disagreement.
+		for !st.track.FitsAll() {
+			if !st.relieveTracked() {
+				break
+			}
+		}
+	}
+}

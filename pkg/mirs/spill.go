@@ -1,0 +1,299 @@
+package mirs
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/regpress"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// This file is the integrated-spilling half of MIRS: picking the victim
+// lifetime when a cluster's register file overflows, materialising the
+// store/reload pair through ir.MaterializeSpill, and carrying the
+// in-flight schedule across to the augmented loop so only the new spill
+// code needs placing.
+
+// victim selects the lifetime to spill from an over-pressure cluster,
+// following the paper's policy: prefer the longest lifetime, break ties
+// toward fewest uses (cheapest reload traffic). Live-in values consumed
+// on the cluster are candidates too — they hold a register on every
+// kernel cycle, making them the longest lifetimes of all, and they spill
+// for reloads only (id -1 in the result marks one). Lifetimes with only
+// loop-carried consumers are deprioritised — spilling them threads memory
+// latency into a recurrence and can raise RecMII — and spill-generated
+// values are never victims. minLen filters lifetimes too short for a
+// store/reload round trip to shorten.
+func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
+	type cand struct {
+		id      int
+		reg     ir.VReg
+		length  int
+		uses    int
+		carried bool
+	}
+	keys := make([]defKey, 0, len(st.charged))
+	for k := range st.charged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].reg < keys[j].reg
+	})
+	var best *cand
+	better := func(a, b *cand) bool { // is a better than b
+		if a.carried != b.carried {
+			return !a.carried
+		}
+		if a.length != b.length {
+			return a.length > b.length
+		}
+		if a.uses != b.uses {
+			return a.uses < b.uses
+		}
+		return a.id < b.id
+	}
+	for _, k := range keys {
+		if st.noSpill[k.id] {
+			continue
+		}
+		length := 0
+		for _, v := range st.charged[k] {
+			if v.cluster != cluster {
+				continue
+			}
+			if l := v.end - v.start + 1; l > length {
+				length = l
+			}
+		}
+		if length < minLen {
+			continue
+		}
+		uses, carried, any := 0, true, false
+		for _, e := range st.g.Succs(k.id) {
+			if e.Kind != ir.DepTrue || e.Reg != k.reg {
+				continue
+			}
+			any = true
+			uses++
+			if e.Distance == 0 {
+				carried = false
+			}
+		}
+		if !any {
+			continue // dead value; spilling it frees nothing
+		}
+		c := &cand{id: k.id, reg: k.reg, length: length, uses: uses, carried: carried}
+		if best == nil || better(c, best) {
+			best = c
+		}
+	}
+	// Live-ins consumed on this cluster: whole-kernel lifetimes, reload
+	// traffic equal to their number of consuming instructions.
+	if st.ii >= minLen {
+		liveRegs := make([]ir.VReg, 0, len(st.liveIn))
+		for k, refs := range st.liveIn {
+			if k.cluster == cluster && refs > 0 {
+				liveRegs = append(liveRegs, k.reg)
+			}
+		}
+		sort.Slice(liveRegs, func(i, j int) bool { return liveRegs[i] < liveRegs[j] })
+		for _, reg := range liveRegs {
+			uses := 0
+			for _, in := range st.loop.Instrs {
+				for _, u := range in.Uses {
+					if u == reg {
+						uses++
+						break
+					}
+				}
+			}
+			c := &cand{id: -1, reg: reg, length: st.ii, uses: uses}
+			if best == nil || better(c, best) {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.id, best.reg, true
+}
+
+// relieveTracked spills one victim from the cluster the incremental
+// tracker reports worst over budget. Mid-placement pressure is an
+// underestimate (consumers still unplaced will stretch lifetimes), so
+// only clearly profitable victims are taken here — the relaxed search
+// belongs to the authoritative final pass. It returns false when there is
+// nothing (more) it can do: no overflow, no victim, or spill budget
+// exhausted.
+func (st *state) relieveTracked() bool {
+	worst, excess := -1, 0
+	for ci := 0; ci < st.m.NumClusters(); ci++ {
+		if e := st.track.Excess(ci); e > excess {
+			worst, excess = ci, e
+		}
+	}
+	if worst == -1 {
+		return false
+	}
+	if st.spills >= st.maxSpill {
+		return false
+	}
+	id, reg, ok := st.victim(worst, 2*st.memLat+1)
+	if !ok {
+		return false
+	}
+	return st.applySpill(id, reg)
+}
+
+// relieveWorst spills one victim from the cluster the authoritative
+// regpress result reports worst over budget. This is the final-pass
+// relief: lifetimes are fully known here, so it first demands a victim
+// long enough to clearly profit from a store/reload round trip, then
+// relaxes to anything longer than a single memory access before giving
+// up.
+func (st *state) relieveWorst(press *regpress.Result) bool {
+	worst, excess := -1, 0
+	for ci, ml := range press.MaxLivePerCluster {
+		if over := ml - st.m.Clusters[ci].RegFile.Size; over > excess {
+			worst, excess = ci, over
+		}
+	}
+	if worst == -1 {
+		return false
+	}
+	if st.spills >= st.maxSpill {
+		return false
+	}
+	id, reg, ok := st.victim(worst, 2*st.memLat+1)
+	if !ok {
+		id, reg, ok = st.victim(worst, st.memLat)
+	}
+	if !ok {
+		return false
+	}
+	return st.applySpill(id, reg)
+}
+
+// applySpill rewrites the loop with spill code for (id, reg) — a
+// store/reload pair for a definition, reloads only for a live-in (id ==
+// -1) — and migrates every piece of scheduling state to the new
+// instruction numbering. Placed instructions keep their placements — the
+// materialised spill code is exactly the unplaced remainder, so the spill
+// is scheduled *inside* the ongoing schedule rather than restarting it.
+func (st *state) applySpill(id int, reg ir.VReg) bool {
+	var sp *ir.Spill
+	var err error
+	if id < 0 {
+		sp, err = ir.MaterializeLiveInSpill(st.loop, st.m, st.g, reg, nil)
+	} else {
+		sp, err = ir.MaterializeSpill(st.loop, st.m, st.g, id, reg, nil)
+	}
+	if err != nil {
+		return false
+	}
+	st.spills++
+	if sp.StoreID >= 0 {
+		st.stats["spill_stores"]++
+	}
+	st.stats["spill_loads"] += len(sp.ReloadIDs)
+
+	n := sp.Loop.NumInstrs()
+	plc := make([]sched.Placement, n)
+	placed := make([]bool, n)
+	noSpill := make([]bool, n)
+	forcedAt := make([]int, n)
+	for old, now := range sp.OldToNew {
+		plc[now] = st.plc[old]
+		placed[now] = st.placed[old]
+		noSpill[now] = st.noSpill[old]
+		forcedAt[now] = st.forcedAt[old]
+	}
+	if id >= 0 {
+		noSpill[sp.OldToNew[id]] = true // a spilled value is not spilled twice
+	}
+	if sp.StoreID >= 0 {
+		noSpill[sp.StoreID] = true
+	}
+	for _, rid := range sp.ReloadIDs {
+		noSpill[rid] = true
+	}
+	// Failures below this point would leave the state half-migrated, and
+	// none can occur for a well-formed spill (the rebuilt graph is acyclic
+	// intra-iteration, II is unchanged, and the re-seated reservations are
+	// the surviving subset of what was reserved before), so they panic as
+	// internal bugs rather than corrupting the in-flight schedule.
+	height, err := sched.Heights(sp.Graph)
+	if err != nil {
+		panic(fmt.Sprintf("mirs: spill of %s (def %d): %v", reg, id, err))
+	}
+	mrt, err := sched.NewMRT(st.m, st.ii)
+	if err != nil {
+		panic(err)
+	}
+	track, err := regpress.NewTracker(st.m, st.ii)
+	if err != nil {
+		panic(err)
+	}
+
+	st.loop, st.g = sp.Loop, sp.Graph
+	st.plc, st.placed, st.noSpill, st.forcedAt, st.height = plc, placed, noSpill, forcedAt, height
+	st.mrt, st.track = mrt, track
+	st.charged = map[defKey][]interval{}
+	st.liveIn = map[liveInKey]int{}
+	st.rebuildDefined()
+
+	// Re-seat the surviving placements in the fresh MRT: unit slots,
+	// then bus transfers (one per cross-cluster true edge with both ends
+	// placed — the same set that was reserved before the renumbering, so
+	// neither step can conflict), then the pressure account.
+	for nid := 0; nid < n; nid++ {
+		if !st.placed[nid] {
+			continue
+		}
+		p := st.plc[nid]
+		if err := st.mrt.Reserve(p.Cluster, p.Slot, p.Cycle, nid); err != nil {
+			panic(fmt.Sprintf("mirs: re-seating instruction %d after spill: %v", nid, err))
+		}
+	}
+	for i := range st.g.Edges {
+		e := &st.g.Edges[i]
+		if e.Kind != ir.DepTrue || e.From == e.To || !st.placed[e.From] || !st.placed[e.To] {
+			continue
+		}
+		if st.plc[e.From].Cluster == st.plc[e.To].Cluster {
+			continue
+		}
+		tr := sched.Transfer{From: e.From, Reg: e.Reg, Dest: st.plc[e.To].Cluster,
+			Cycle: sched.TransferCycle(st.m, st.loop, st.plc, e.From)}
+		if err := st.mrt.AddTransfer(tr); err != nil {
+			panic(fmt.Sprintf("mirs: re-seating transfer from %d after spill: %v", e.From, err))
+		}
+	}
+	for nid := 0; nid < n; nid++ {
+		if !st.placed[nid] {
+			continue
+		}
+		for _, d := range st.loop.Instrs[nid].Defs {
+			st.refreshDef(nid, d)
+		}
+		st.liveInAdjust(nid, 1)
+	}
+	// Eject the rewritten consumers so they reschedule after their
+	// reloads. A consumer kept in place would leave each reload an
+	// (often empty) window squeezed between the store and the consumer's
+	// old slot, and every empty window costs a forced placement; ejecting
+	// up front lets the reload seat itself and the consumer follow it.
+	// MaterializeSpill emits each reload immediately before its consumer,
+	// so the consumer is always the next instruction.
+	for _, rid := range sp.ReloadIDs {
+		if c := rid + 1; st.placed[c] {
+			st.unplace(c)
+		}
+	}
+	return true
+}

@@ -1,0 +1,559 @@
+package mirs
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/regpress"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// state is the mutable scheduling state for one candidate II: the
+// (possibly spill-augmented) loop and graph, the partial placement, the
+// modulo reservation table (units and buses), and an incremental
+// register-pressure account that mirrors regpress.Analyze lifetime by
+// lifetime so the placement loop can consult pressure cheaply.
+type state struct {
+	m      *machine.Machine
+	ii     int
+	loop   *ir.Loop
+	g      *ir.Graph
+	mrt    *sched.MRT
+	track  *regpress.Tracker
+	plc    []sched.Placement
+	placed []bool
+	height []int
+	// noSpill marks instructions whose definitions must not be selected
+	// as spill victims: spill stores/reloads themselves and definitions
+	// already spilled once, which keeps spilling from feeding on its own
+	// output.
+	noSpill []bool
+	// forcedAt[i] is the next cycle a forced placement of i will target,
+	// sliding forward on repeated failures so ejection fights converge.
+	forcedAt []int
+	budget   int // remaining force-placements at this II
+	spills   int
+	maxSpill int
+	stats    map[string]int
+
+	defined map[ir.VReg]bool
+	liveIn  map[liveInKey]int
+	charged map[defKey][]interval
+
+	memLat, busLat int
+}
+
+type defKey struct {
+	id  int
+	reg ir.VReg
+}
+
+type liveInKey struct {
+	reg     ir.VReg
+	cluster int
+}
+
+type interval struct {
+	cluster, start, end int
+}
+
+func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, maxSpills int) (*state, error) {
+	mrt, err := sched.NewMRT(m, ii)
+	if err != nil {
+		return nil, err
+	}
+	track, err := regpress.NewTracker(m, ii)
+	if err != nil {
+		return nil, err
+	}
+	height, err := sched.Heights(g)
+	if err != nil {
+		return nil, err
+	}
+	n := loop.NumInstrs()
+	st := &state{
+		m:        m,
+		ii:       ii,
+		loop:     loop,
+		g:        g,
+		mrt:      mrt,
+		track:    track,
+		plc:      make([]sched.Placement, n),
+		placed:   make([]bool, n),
+		height:   height,
+		noSpill:  make([]bool, n),
+		forcedAt: make([]int, n),
+		budget:   maxRetries * n,
+		maxSpill: maxSpills,
+		stats:    map[string]int{"ejections": 0, "spill_stores": 0, "spill_loads": 0},
+		liveIn:   map[liveInKey]int{},
+		charged:  map[defKey][]interval{},
+		memLat:   m.Latency(machine.ClassMem),
+		busLat:   m.BusLatency(),
+	}
+	st.rebuildDefined()
+	return st, nil
+}
+
+func (st *state) rebuildDefined() {
+	st.defined = map[ir.VReg]bool{}
+	for _, in := range st.loop.Instrs {
+		for _, d := range in.Defs {
+			st.defined[d] = true
+		}
+	}
+}
+
+// nextUnplaced picks the next instruction to place: among the unplaced
+// ops that touch the already-placed region (any dependence edge, either
+// direction), the one with the greatest dependence height, ties to the
+// lowest ID. Growing the schedule along dependence edges is the HRMS
+// property MIRS inherits — each new op lands next to a placed neighbour,
+// so values are produced close to their consumers and lifetimes stay
+// short, instead of whole dependence layers issuing together and keeping
+// a layer's worth of values alive at once. When nothing placed borders an
+// unplaced op (the first pick, or a disconnected component), the globally
+// highest op seeds a new region. Returns -1 when everything is placed.
+func (st *state) nextUnplaced() int {
+	best, bestAdj := -1, false
+	adjacent := func(id int) bool {
+		for _, e := range st.g.Preds(id) {
+			if e.From != id && st.placed[e.From] {
+				return true
+			}
+		}
+		for _, e := range st.g.Succs(id) {
+			if e.To != id && st.placed[e.To] {
+				return true
+			}
+		}
+		return false
+	}
+	for id := range st.placed {
+		if st.placed[id] {
+			continue
+		}
+		adj := adjacent(id)
+		if adj != bestAdj {
+			if adj {
+				best, bestAdj = id, true
+			}
+			continue
+		}
+		if best == -1 || st.height[id] > st.height[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// clusterSupports reports whether any unit of cluster ci executes class.
+func (st *state) clusterSupports(ci int, class machine.OpClass) bool {
+	for ui := range st.m.Clusters[ci].Units {
+		if st.m.Clusters[ci].Units[ui].Supports(class) {
+			return true
+		}
+	}
+	return false
+}
+
+// transfersFor lists the bus transfers that placing u on (cluster, cycle)
+// creates against already-placed neighbours.
+func (st *state) transfersFor(u, cluster, cycle int) []sched.Transfer {
+	return sched.PlacementTransfers(st.g, st.m, st.loop, st.plc, st.placed, u, cluster, cycle)
+}
+
+func (st *state) removeTransfers(trs []sched.Transfer) {
+	for _, tr := range trs {
+		st.mrt.RemoveTransfer(tr.From, tr.Reg, tr.Dest)
+	}
+}
+
+// scanLate reports whether u should be placed as late as possible inside
+// its window rather than as early as possible. Following the placement
+// direction rule of swing-style modulo schedulers: an instruction whose
+// already-placed register neighbours are all *consumers* (no placed
+// true-dependence producer feeds it) only stretches its own value's
+// lifetime by issuing early, so it hugs its deadline. Spill reloads are
+// the canonical case — their input arrives through memory, so placing
+// them just before their consumer is what makes the spill shorten the
+// victim lifetime at all.
+func (st *state) scanLate(u int) bool {
+	hasConsumer := false
+	for _, e := range st.g.Succs(u) {
+		if e.Kind == ir.DepTrue && e.To != u && st.placed[e.To] {
+			hasConsumer = true
+			break
+		}
+	}
+	if !hasConsumer {
+		return false
+	}
+	for _, e := range st.g.Preds(u) {
+		if e.Kind == ir.DepTrue && e.From != u && st.placed[e.From] {
+			return false
+		}
+	}
+	return true
+}
+
+// place tries to put u at the best conflict-free position inside its
+// deadline window on some cluster; when no such position exists it falls
+// back to a forced placement that ejects the conflicts.
+func (st *state) place(u int) bool {
+	class := st.loop.Instrs[u].Class
+	late := st.scanLate(u)
+	type cand struct {
+		ci, t, slot, ntrs int
+	}
+	best, haveBest := cand{}, false
+	better := func(a, b cand) bool { // is a better than b
+		if a.t != b.t {
+			if late {
+				return a.t > b.t
+			}
+			return a.t < b.t
+		}
+		if a.ntrs != b.ntrs {
+			return a.ntrs < b.ntrs
+		}
+		am, bm := st.track.MaxLive(a.ci), st.track.MaxLive(b.ci)
+		if am != bm {
+			return am < bm
+		}
+		return a.ci < b.ci
+	}
+	for ci := 0; ci < st.m.NumClusters(); ci++ {
+		if !st.clusterSupports(ci, class) {
+			continue
+		}
+		est, lst := sched.Window(st.g, st.m, st.plc, st.placed, st.ii, u, ci)
+		if lst < est {
+			continue // empty window: only a forced placement can resolve it
+		}
+		from, to, step := est, lst+1, 1
+		if late {
+			from, to, step = lst, est-1, -1
+		}
+		for t := from; t != to; t += step {
+			slot, ok := st.mrt.FreeSlot(ci, t, class)
+			if !ok {
+				continue
+			}
+			trs := st.transfersFor(u, ci, t)
+			if _, err := st.mrt.AddTransfers(trs); err != nil {
+				continue
+			}
+			st.removeTransfers(trs) // probe only; winner re-adds below
+			c := cand{ci: ci, t: t, slot: slot, ntrs: len(trs)}
+			if !haveBest || better(c, best) {
+				best, haveBest = c, true
+			}
+			break // first feasible cycle in scan order is this cluster's best
+		}
+	}
+	if haveBest {
+		trs := st.transfersFor(u, best.ci, best.t)
+		if _, err := st.mrt.AddTransfers(trs); err != nil {
+			return st.force(u) // cannot happen: state unchanged since probe
+		}
+		st.commit(u, best.ci, best.t, best.slot)
+		return true
+	}
+	return st.force(u)
+}
+
+// compact runs a post-placement retiming sweep: every op that now wants
+// ALAP placement (scanLate — typically spill reloads placed before their
+// consumer existed, or producers whose consumers were ejected and re-seated
+// far away) is lifted and re-placed inside its final window, without
+// forcing. A value's lifetime only shrinks: the op moves toward its
+// consumer or stays put, so the sweep monotonically lowers pressure and
+// cannot invalidate the schedule.
+func (st *state) compact() {
+	for u := range st.placed {
+		if !st.placed[u] || !st.scanLate(u) {
+			continue
+		}
+		old := st.plc[u]
+		st.ejectQuietly(u)
+		if !st.placeNoForce(u) {
+			// Put it back exactly where it was; the slot and transfers
+			// were just released, so this cannot fail.
+			trs := st.transfersFor(u, old.Cluster, old.Cycle)
+			if _, err := st.mrt.AddTransfers(trs); err != nil {
+				panic("mirs: compact: could not restore transfers")
+			}
+			st.commit(u, old.Cluster, old.Cycle, old.Slot)
+		}
+	}
+}
+
+// ejectQuietly is unplace without charging the ejection statistic — used
+// by compact, which always re-places the op it lifts.
+func (st *state) ejectQuietly(u int) {
+	st.unplace(u)
+	st.stats["ejections"]--
+}
+
+// placeNoForce is the probe half of place: it commits u at the best
+// conflict-free position if one exists and reports failure otherwise,
+// never ejecting anything.
+func (st *state) placeNoForce(u int) bool {
+	saved := st.budget
+	st.budget = 0
+	ok := st.place(u)
+	st.budget = saved
+	return ok
+}
+
+// force places u even though every position conflicts, ejecting the
+// conflicts: the chosen slot's occupant, placed successors whose
+// deadlines the new cycle violates, and bus transfers blocking the
+// placement's own. Each call burns one unit of the backtracking budget;
+// repeated forcing of the same instruction slides its target cycle
+// forward so the same fight is not replayed verbatim.
+func (st *state) force(u int) bool {
+	if st.budget <= 0 {
+		return false
+	}
+	st.budget--
+	class := st.loop.Instrs[u].Class
+
+	// Target the cluster with the smallest earliest start.
+	ci, est := -1, 0
+	for c := 0; c < st.m.NumClusters(); c++ {
+		if !st.clusterSupports(c, class) {
+			continue
+		}
+		e := sched.EarliestStart(st.g, st.m, st.plc, st.placed, st.ii, u, c)
+		if ci == -1 || e < est {
+			ci, est = c, e
+		}
+	}
+	if ci == -1 {
+		return false
+	}
+	t := est
+	if f := st.forcedAt[u]; f > t {
+		t = f
+	}
+	st.forcedAt[u] = t + 1
+
+	// Free a compatible slot, ejecting the lowest-height occupant if none
+	// is free.
+	slot, ok := st.mrt.FreeSlot(ci, t, class)
+	if !ok {
+		victim, vslot := -1, -1
+		for ui := range st.m.Clusters[ci].Units {
+			if !st.m.Clusters[ci].Units[ui].Supports(class) {
+				continue
+			}
+			occ := st.mrt.At(ci, ui, t)
+			if occ < 0 {
+				continue
+			}
+			if victim == -1 || st.height[occ] < st.height[victim] {
+				victim, vslot = occ, ui
+			}
+		}
+		if victim == -1 {
+			return false
+		}
+		st.unplace(victim)
+		slot = vslot
+	}
+
+	// Eject placed successors whose deadline the forced cycle violates.
+	for _, e := range st.g.Succs(u) {
+		if e.To == u || !st.placed[e.To] {
+			continue
+		}
+		lat := e.Latency
+		if e.Kind == ir.DepTrue && st.plc[e.To].Cluster != ci {
+			lat += st.busLat
+		}
+		if st.plc[e.To].Cycle < t+lat-e.Distance*st.ii {
+			st.unplace(e.To)
+		}
+	}
+
+	// Claim bus bandwidth, ejecting blocking producers (bounded: each
+	// eviction frees at least one transfer on the contended cycle).
+	for attempt := 0; ; attempt++ {
+		fail, err := st.mrt.AddTransfers(st.transfersFor(u, ci, t))
+		if err == nil {
+			break
+		}
+		if attempt > 2*st.mrt.BusCap()+2 {
+			return false
+		}
+		evicted := false
+		for _, p := range st.mrt.TransferProducersAt(fail.Cycle) {
+			if p != u {
+				st.unplace(p)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return false
+		}
+	}
+	st.commit(u, ci, t, slot)
+	return true
+}
+
+// commit finalises u's placement at (ci, t, slot). Transfers must already
+// be reserved by the caller.
+func (st *state) commit(u, ci, t, slot int) {
+	if err := st.mrt.Reserve(ci, slot, t, u); err != nil {
+		// The caller verified the slot is free; a failure here is a bug.
+		panic(fmt.Sprintf("mirs: commit of instruction %d: %v", u, err))
+	}
+	st.plc[u] = sched.Placement{Cycle: t, Cluster: ci, Slot: slot}
+	st.placed[u] = true
+	st.refreshAround(u)
+	st.liveInAdjust(u, 1)
+}
+
+// unplace ejects x from the schedule: frees its unit slot, drops the bus
+// transfers its placement implied, and rolls its pressure contributions
+// back. x returns to the pending pool via nextUnplaced.
+func (st *state) unplace(x int) {
+	st.stats["ejections"]++
+	p := st.plc[x]
+	st.mrt.Release(p.Cluster, p.Slot, p.Cycle)
+	for _, e := range st.g.Preds(x) {
+		if e.Kind != ir.DepTrue || e.From == x || !st.placed[e.From] || st.plc[e.From].Cluster == p.Cluster {
+			continue
+		}
+		st.mrt.RemoveTransfer(e.From, e.Reg, p.Cluster)
+	}
+	for _, e := range st.g.Succs(x) {
+		if e.Kind != ir.DepTrue || e.To == x || !st.placed[e.To] || st.plc[e.To].Cluster == p.Cluster {
+			continue
+		}
+		st.mrt.RemoveTransfer(x, e.Reg, st.plc[e.To].Cluster)
+	}
+	st.liveInAdjust(x, -1)
+	st.placed[x] = false
+	st.refreshAround(x)
+}
+
+// refreshAround recomputes the charged lifetimes x's placement change
+// affects: the values x defines and the values x consumes (their
+// producers' lifetimes stretch or shrink with x).
+func (st *state) refreshAround(x int) {
+	for _, d := range st.loop.Instrs[x].Defs {
+		st.refreshDef(x, d)
+	}
+	seen := map[defKey]bool{}
+	for _, e := range st.g.Preds(x) {
+		if e.Kind != ir.DepTrue {
+			continue
+		}
+		k := defKey{e.From, e.Reg}
+		if !seen[k] {
+			seen[k] = true
+			st.refreshDef(e.From, e.Reg)
+		}
+	}
+}
+
+// refreshDef recomputes the pressure intervals of the value instruction
+// id writes to reg, mirroring regpress.Analyze: the local lifetime runs
+// from the definition to its last placed consumer (in the defining
+// iteration's time frame), and each consuming remote cluster is charged a
+// bus-delivered copy from arrival to its last local use.
+func (st *state) refreshDef(id int, reg ir.VReg) {
+	k := defKey{id, reg}
+	for _, v := range st.charged[k] {
+		st.track.Remove(v.cluster, v.start, v.end)
+	}
+	delete(st.charged, k)
+	if !st.placed[id] {
+		return
+	}
+	start := st.plc[id].Cycle
+	end := start
+	var remote map[int]int
+	for _, e := range st.g.Succs(id) {
+		if e.Kind != ir.DepTrue || e.Reg != reg || !st.placed[e.To] {
+			continue
+		}
+		use := st.plc[e.To].Cycle + e.Distance*st.ii
+		if use > end {
+			end = use
+		}
+		if uc := st.plc[e.To].Cluster; uc != st.plc[id].Cluster {
+			if remote == nil {
+				remote = map[int]int{}
+			}
+			if cur, ok := remote[uc]; !ok || use > cur {
+				remote[uc] = use
+			}
+		}
+	}
+	ivs := []interval{{st.plc[id].Cluster, start, end}}
+	arrival := start + st.m.Latency(st.loop.Instrs[id].Class) + st.busLat
+	for uc := 0; uc < st.m.NumClusters(); uc++ {
+		lastUse, ok := remote[uc]
+		if !ok {
+			continue
+		}
+		s0 := arrival
+		if s0 > lastUse {
+			s0 = lastUse
+		}
+		ivs = append(ivs, interval{uc, s0, lastUse})
+	}
+	for _, v := range ivs {
+		st.track.Add(v.cluster, v.start, v.end)
+	}
+	st.charged[k] = ivs
+}
+
+// liveInAdjust charges (delta=+1) or releases (delta=-1) whole-kernel
+// lifetimes for the live-in registers x consumes, one per consuming
+// cluster, reference-counted across that cluster's consumers.
+func (st *state) liveInAdjust(x, delta int) {
+	ci := st.plc[x].Cluster
+	var seen map[ir.VReg]bool
+	for _, u := range st.loop.Instrs[x].Uses {
+		if st.defined[u] || seen[u] {
+			continue
+		}
+		if seen == nil {
+			seen = map[ir.VReg]bool{}
+		}
+		seen[u] = true
+		k := liveInKey{u, ci}
+		st.liveIn[k] += delta
+		if delta > 0 && st.liveIn[k] == 1 {
+			st.track.Add(ci, 0, st.ii-1)
+		}
+		if delta < 0 && st.liveIn[k] == 0 {
+			st.track.Remove(ci, 0, st.ii-1)
+		}
+	}
+}
+
+// schedule snapshots the current (complete) placement as a
+// sched.Schedule.
+func (st *state) schedule(by string) *sched.Schedule {
+	stats := make(map[string]int, len(st.stats))
+	for k, v := range st.stats {
+		stats[k] = v
+	}
+	return &sched.Schedule{
+		Loop:       st.loop,
+		Machine:    st.m,
+		Graph:      st.g,
+		II:         st.ii,
+		Placements: append([]sched.Placement(nil), st.plc...),
+		By:         by,
+		Stats:      stats,
+	}
+}

@@ -1,0 +1,104 @@
+package regpress
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// Tracker is the incremental counterpart of Analyze: a per-cluster,
+// per-kernel-cycle live-value account that a scheduler can update lifetime
+// by lifetime as it places, ejects and spills operations. Each update is
+// O(min(length, II)) and queries are O(II), cheap enough to sit inside a
+// placement loop; Analyze remains the authoritative whole-schedule check.
+//
+// The tracker is deliberately ignorant of *what* a lifetime is — callers
+// add and remove flat [start, end] intervals charged to a cluster, using
+// the same folding rule as Analyze: an interval covers kernel cycle c once
+// per flat cycle congruent to c (mod II) it spans, which is the number of
+// simultaneously live copies the steady state sustains.
+type Tracker struct {
+	ii     int
+	sizes  []int
+	counts [][]int // cluster -> kernel cycle -> live values
+}
+
+// NewTracker returns an empty pressure account for machine m at the given
+// II.
+func NewTracker(m *machine.Machine, ii int) (*Tracker, error) {
+	if ii < 1 {
+		return nil, fmt.Errorf("regpress: tracker with II %d < 1", ii)
+	}
+	t := &Tracker{ii: ii, sizes: make([]int, m.NumClusters()), counts: make([][]int, m.NumClusters())}
+	for ci := range m.Clusters {
+		t.sizes[ci] = m.Clusters[ci].RegFile.Size
+		t.counts[ci] = make([]int, ii)
+	}
+	return t, nil
+}
+
+// II returns the tracker's initiation interval.
+func (t *Tracker) II() int { return t.ii }
+
+// Add charges the flat interval [start, end] (inclusive, start >= 0) to
+// cluster's register file.
+func (t *Tracker) Add(cluster, start, end int) { t.bump(cluster, start, end, 1) }
+
+// Remove undoes a previous Add of the same interval.
+func (t *Tracker) Remove(cluster, start, end int) { t.bump(cluster, start, end, -1) }
+
+func (t *Tracker) bump(cluster, start, end, delta int) {
+	if end < start {
+		return
+	}
+	length := end - start + 1
+	// Every full II-cycle wrap covers each kernel cycle exactly once.
+	if full := length / t.ii; full > 0 {
+		for c := 0; c < t.ii; c++ {
+			t.counts[cluster][c] += full * delta
+		}
+	}
+	for f := start + (length/t.ii)*t.ii; f <= end; f++ {
+		t.counts[cluster][f%t.ii] += delta
+	}
+}
+
+// PressureAt returns the live count charged to cluster at kernel cycle
+// (cycle mod II).
+func (t *Tracker) PressureAt(cluster, cycle int) int {
+	return t.counts[cluster][((cycle%t.ii)+t.ii)%t.ii]
+}
+
+// MaxLive returns the cluster's current maximum per-cycle live count.
+func (t *Tracker) MaxLive(cluster int) int {
+	max := 0
+	for _, n := range t.counts[cluster] {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Excess returns how far the cluster currently overshoots its register
+// file (0 when it fits).
+func (t *Tracker) Excess(cluster int) int {
+	if over := t.MaxLive(cluster) - t.sizes[cluster]; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// Fits reports whether the cluster's tracked pressure fits its register
+// file.
+func (t *Tracker) Fits(cluster int) bool { return t.Excess(cluster) == 0 }
+
+// FitsAll reports whether every cluster fits.
+func (t *Tracker) FitsAll() bool {
+	for ci := range t.counts {
+		if !t.Fits(ci) {
+			return false
+		}
+	}
+	return true
+}

@@ -77,17 +77,9 @@ func placementOrder(g *ir.Graph) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	height := make([]int, g.NumNodes())
-	for i := len(topo) - 1; i >= 0; i-- {
-		v := topo[i]
-		for _, e := range g.Succs(v) {
-			if e.Distance != 0 {
-				continue
-			}
-			if h := e.Latency + height[e.To]; h > height[v] {
-				height[v] = h
-			}
-		}
+	height, err := Heights(g)
+	if err != nil {
+		return nil, err
 	}
 	pos := make([]int, g.NumNodes())
 	for i, v := range topo {
@@ -141,45 +133,45 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii int) (*
 	}
 	placed := make([]bool, g.NumNodes())
 	plc := make([]Placement, g.NumNodes())
-	bus := m.BusLatency()
 
 	for _, id := range order {
 		in := req.Loop.Instrs[id]
-		preds := g.Preds(id)
 		type cand struct{ cycle, cluster, slot int }
 		best := cand{cycle: -1}
 		for ci := 0; ci < m.NumClusters(); ci++ {
 			// Earliest start on this cluster given already-placed
 			// predecessors (cross-cluster true deps pay the bus).
-			est := 0
-			for _, e := range preds {
-				if !placed[e.From] {
+			est := EarliestStart(g, m, plc, placed, ii, id, ci)
+			// The II consecutive cycles from est cover every modulo
+			// class; if none has a free compatible slot with bus
+			// bandwidth left for the transfers the placement implies,
+			// this cluster cannot take the instruction at this II.
+			for t := est; t < est+ii; t++ {
+				slot, ok := mrt.FreeSlot(ci, t, in.Class)
+				if !ok {
 					continue
 				}
-				lat := e.Latency
-				if e.Kind == ir.DepTrue && plc[e.From].Cluster != ci {
-					lat += bus
+				trs := PlacementTransfers(g, m, req.Loop, plc, placed, id, ci, t)
+				if _, err := mrt.AddTransfers(trs); err != nil {
+					continue
 				}
-				if t := plc[e.From].Cycle + lat - e.Distance*ii; t > est {
-					est = t
+				// Probe only: the winning candidate re-adds below.
+				for _, tr := range trs {
+					mrt.RemoveTransfer(tr.From, tr.Reg, tr.Dest)
 				}
-			}
-			// The II consecutive cycles from est cover every modulo
-			// class; if none has a free compatible slot this cluster
-			// cannot take the instruction at this II.
-			for t := est; t < est+ii; t++ {
-				if slot, ok := mrt.FreeSlot(ci, t, in.Class); ok {
-					if best.cycle == -1 || t < best.cycle {
-						best = cand{cycle: t, cluster: ci, slot: slot}
-					}
-					break
+				if best.cycle == -1 || t < best.cycle {
+					best = cand{cycle: t, cluster: ci, slot: slot}
 				}
+				break
 			}
 		}
 		if best.cycle == -1 {
 			return nil, false
 		}
 		if err := mrt.Reserve(best.cluster, best.slot, best.cycle, id); err != nil {
+			return nil, false
+		}
+		if _, err := mrt.AddTransfers(PlacementTransfers(g, m, req.Loop, plc, placed, id, best.cluster, best.cycle)); err != nil {
 			return nil, false
 		}
 		plc[id] = Placement{Cycle: best.cycle, Cluster: best.cluster, Slot: best.slot}

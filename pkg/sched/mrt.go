@@ -2,7 +2,9 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
 
@@ -12,12 +14,45 @@ import (
 // the modulo resource constraint by construction; Release exists so
 // backtracking schedulers (the paper's MIRS ejects and reschedules
 // operations) can undo reservations.
+//
+// Buses are MRT resources too: every cross-cluster true dependence needs
+// one bus at the cycle the value leaves the producer, and at most
+// Machine.BusCount() transfers fit per cycle. A producer broadcasting one
+// value to several consumers in the same destination cluster uses one
+// bus, which is why transfers are keyed by (producer, register,
+// destination cluster) and reference-counted per dependence edge.
 type MRT struct {
 	mach *machine.Machine
 	ii   int
 	// slots[cluster][slot][cycle mod ii] holds the occupying instruction
 	// ID, or -1 when free.
 	slots [][][]int
+
+	busCap  int
+	busUsed []int // transfers per cycle mod ii
+	busRef  map[transferKey]*busRes
+}
+
+type transferKey struct {
+	from int
+	reg  ir.VReg
+	dest int
+}
+
+type busRes struct {
+	cycle int // mod ii
+	refs  int // dependence edges sharing this transfer
+}
+
+// Transfer names one inter-cluster value movement: producer instruction
+// From sends register Reg to cluster Dest, occupying a bus at Cycle (the
+// cycle the value is available, i.e. the producer's issue cycle plus its
+// result latency).
+type Transfer struct {
+	From  int
+	Reg   ir.VReg
+	Dest  int
+	Cycle int
 }
 
 // NewMRT returns an empty reservation table for machine m at the given II.
@@ -25,7 +60,14 @@ func NewMRT(m *machine.Machine, ii int) (*MRT, error) {
 	if ii < 1 {
 		return nil, fmt.Errorf("sched: MRT with II %d < 1", ii)
 	}
-	t := &MRT{mach: m, ii: ii, slots: make([][][]int, m.NumClusters())}
+	t := &MRT{
+		mach:    m,
+		ii:      ii,
+		slots:   make([][][]int, m.NumClusters()),
+		busCap:  m.BusCount(),
+		busUsed: make([]int, ii),
+		busRef:  map[transferKey]*busRes{},
+	}
 	for ci := range m.Clusters {
 		t.slots[ci] = make([][]int, len(m.Clusters[ci].Units))
 		for ui := range m.Clusters[ci].Units {
@@ -93,4 +135,82 @@ func (t *MRT) FreeSlot(cluster, cycle int, class machine.OpClass) (slot int, ok 
 		return 0, false
 	}
 	return best, true
+}
+
+// AddTransfer reserves bus bandwidth for one cross-cluster dependence
+// edge. Edges sharing the same (producer, register, destination cluster)
+// ride the same physical transfer, so only the first of them claims a
+// bus; subsequent calls just bump its reference count. It fails when the
+// transfer's cycle row has no bus left.
+func (t *MRT) AddTransfer(tr Transfer) error {
+	k := transferKey{tr.From, tr.Reg, tr.Dest}
+	if r := t.busRef[k]; r != nil {
+		r.refs++
+		return nil
+	}
+	c := t.mod(tr.Cycle)
+	if t.busUsed[c] >= t.busCap {
+		return fmt.Errorf("sched: all %d buses busy at cycle %d (mod II=%d) for transfer of %s from instruction %d to cluster %d",
+			t.busCap, c, t.ii, tr.Reg, tr.From, tr.Dest)
+	}
+	t.busUsed[c]++
+	t.busRef[k] = &busRes{cycle: c, refs: 1}
+	return nil
+}
+
+// AddTransfers reserves a batch of transfers all-or-nothing: on the
+// first failure every transfer already added by this call is removed
+// again and the blocking transfer is returned with the error, so a
+// backtracking scheduler knows which bus cycle to fight for.
+func (t *MRT) AddTransfers(trs []Transfer) (Transfer, error) {
+	for i, tr := range trs {
+		if err := t.AddTransfer(tr); err != nil {
+			for _, done := range trs[:i] {
+				t.RemoveTransfer(done.From, done.Reg, done.Dest)
+			}
+			return tr, err
+		}
+	}
+	return Transfer{}, nil
+}
+
+// RemoveTransfer drops one dependence edge's claim on the transfer
+// (producer from, register reg, destination cluster dest); when the last
+// edge lets go the bus slot is freed. Removing an unknown transfer is a
+// no-op so ejection paths can be written symmetrically to placement.
+func (t *MRT) RemoveTransfer(from int, reg ir.VReg, dest int) {
+	k := transferKey{from, reg, dest}
+	r := t.busRef[k]
+	if r == nil {
+		return
+	}
+	r.refs--
+	if r.refs == 0 {
+		t.busUsed[r.cycle]--
+		delete(t.busRef, k)
+	}
+}
+
+// BusUsed returns the number of distinct transfers occupying buses at the
+// given cycle (mod II).
+func (t *MRT) BusUsed(cycle int) int { return t.busUsed[t.mod(cycle)] }
+
+// BusCap returns the machine's total bus count.
+func (t *MRT) BusCap() int { return t.busCap }
+
+// TransferProducersAt returns the producer instruction IDs of the
+// transfers occupying buses at the given cycle (mod II), in ascending
+// order. Backtracking schedulers eject one of these to free bandwidth.
+func (t *MRT) TransferProducersAt(cycle int) []int {
+	c := t.mod(cycle)
+	seen := map[int]bool{}
+	var out []int
+	for k, r := range t.busRef {
+		if r.cycle == c && !seen[k.from] {
+			seen[k.from] = true
+			out = append(out, k.from)
+		}
+	}
+	sort.Ints(out)
+	return out
 }

@@ -93,6 +93,10 @@ type Schedule struct {
 	Placements []Placement
 	// By is the name of the scheduler that produced the schedule.
 	By string
+	// Stats carries optional backend-reported counters — spill stores and
+	// loads, ejections, spill-induced II increase, and the like. Keys are
+	// backend-defined; nil for backends that report nothing.
+	Stats map[string]int
 }
 
 // Start returns the flat issue cycle of instruction id.
@@ -148,7 +152,12 @@ func (s *Schedule) EdgeLatency(e *ir.Edge) int {
 //   - no two instructions occupy the same (cluster, slot, cycle mod II)
 //     — the modulo resource constraint;
 //   - for every dependence edge, start(To) >= start(From) +
-//     EdgeLatency(e) - Distance*II.
+//     EdgeLatency(e) - Distance*II;
+//   - bus bandwidth: each distinct cross-cluster transfer — one per
+//     (producer, register, destination cluster), consumers in the same
+//     cluster share a broadcast — occupies a bus at the cycle the value
+//     leaves the producer (issue + result latency, mod II), and no cycle
+//     carries more transfers than Machine.BusCount().
 //
 // It returns nil for a valid schedule and a descriptive error for the
 // first violation found.
@@ -194,6 +203,33 @@ func (s *Schedule) Validate() error {
 		if s.Start(e.To) < need {
 			return fmt.Errorf("sched: %s dependence %d->%d (dist %d, lat %d) violated: start(%d)=%d < %d under II=%d",
 				e.Kind, e.From, e.To, e.Distance, s.EdgeLatency(e), e.To, s.Start(e.To), need, s.II)
+		}
+	}
+	// Bus bandwidth: distinct transfers per (producer, register,
+	// destination cluster), each claiming a bus at the cycle the value
+	// leaves the producer.
+	type xfer struct {
+		from int
+		reg  ir.VReg
+		dest int
+	}
+	seen := map[xfer]bool{}
+	busAt := map[int]int{}
+	for i := range s.Graph.Edges {
+		e := &s.Graph.Edges[i]
+		if e.Kind != ir.DepTrue || s.Placements[e.From].Cluster == s.Placements[e.To].Cluster {
+			continue
+		}
+		k := xfer{e.From, e.Reg, s.Placements[e.To].Cluster}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cyc := TransferCycle(s.Machine, s.Loop, s.Placements, e.From) % s.II
+		busAt[cyc]++
+		if cap := s.Machine.BusCount(); busAt[cyc] > cap {
+			return fmt.Errorf("sched: bus bandwidth exceeded at cycle %d (mod II=%d): %d transfers, %d buses (last: %s from instruction %d to cluster %d)",
+				cyc, s.II, busAt[cyc], cap, e.Reg, e.From, k.dest)
 		}
 	}
 	return nil

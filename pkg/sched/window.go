@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// This file exposes the slack/window computation backtracking schedulers
+// need: given a partial placement, the earliest and latest flat cycles an
+// instruction may issue at on a particular cluster. The list scheduler
+// uses the earliest-start half; MIRS uses the full window to bound its
+// placement probe and to decide which already-placed successors a forced
+// placement must eject.
+
+// EarliestStart returns the earliest flat cycle at which instruction id
+// can issue on the given cluster without violating a dependence from an
+// already-placed predecessor. Cross-cluster true dependences pay the
+// machine's bus latency. Unplaced predecessors impose no constraint; the
+// result is never negative.
+func EarliestStart(g *ir.Graph, m *machine.Machine, plc []Placement, placed []bool, ii, id, cluster int) int {
+	est := 0
+	bus := m.BusLatency()
+	for _, e := range g.Preds(id) {
+		if !placed[e.From] {
+			continue
+		}
+		lat := e.Latency
+		if e.Kind == ir.DepTrue && plc[e.From].Cluster != cluster {
+			lat += bus
+		}
+		if t := plc[e.From].Cycle + lat - e.Distance*ii; t > est {
+			est = t
+		}
+	}
+	return est
+}
+
+// LatestStart returns the latest flat cycle at which instruction id can
+// issue on the given cluster without violating a dependence *to* an
+// already-placed successor (its deadline), and whether any placed
+// successor bounds it at all. With bounded == false the instruction has
+// no deadline and the returned cycle is meaningless.
+func LatestStart(g *ir.Graph, m *machine.Machine, plc []Placement, placed []bool, ii, id, cluster int) (lst int, bounded bool) {
+	bus := m.BusLatency()
+	for _, e := range g.Succs(id) {
+		if !placed[e.To] || e.To == id {
+			continue
+		}
+		lat := e.Latency
+		if e.Kind == ir.DepTrue && plc[e.To].Cluster != cluster {
+			lat += bus
+		}
+		t := plc[e.To].Cycle - lat + e.Distance*ii
+		if !bounded || t < lst {
+			lst, bounded = t, true
+		}
+	}
+	return lst, bounded
+}
+
+// Window combines EarliestStart and LatestStart: the inclusive flat-cycle
+// interval [est, lst] instruction id may legally occupy on cluster given
+// the current partial placement. When no placed successor bounds the
+// instruction, lst is est+ii-1 (one full modulo period — probing more
+// cycles than that revisits the same MRT rows). The window may be empty
+// (lst < est): that is exactly the conflict a backtracking scheduler
+// resolves by ejecting placed neighbours.
+func Window(g *ir.Graph, m *machine.Machine, plc []Placement, placed []bool, ii, id, cluster int) (est, lst int) {
+	est = EarliestStart(g, m, plc, placed, ii, id, cluster)
+	l, bounded := LatestStart(g, m, plc, placed, ii, id, cluster)
+	if !bounded || l > est+ii-1 {
+		l = est + ii - 1
+	}
+	return est, l
+}
+
+// TransferCycle returns the cycle at which a value produced by placed
+// instruction from occupies a bus: its issue cycle plus its result
+// latency, the moment the value leaves the producer's cluster. Every
+// piece of bus accounting — MRT reservations and Schedule.Validate —
+// must use this one definition.
+func TransferCycle(m *machine.Machine, loop *ir.Loop, plc []Placement, from int) int {
+	return plc[from].Cycle + m.Latency(loop.Instrs[from].Class)
+}
+
+// PlacementTransfers lists the bus transfers that placing instruction id
+// on (cluster, cycle) creates against already-placed neighbours: inbound
+// from placed true-dependence producers on other clusters (at their
+// fixed availability cycles) and outbound to placed consumers elsewhere
+// (leaving at cycle plus id's latency). Loop-carried edges mean
+// consumers can be placed before their producer, so both directions
+// matter.
+func PlacementTransfers(g *ir.Graph, m *machine.Machine, loop *ir.Loop, plc []Placement, placed []bool, id, cluster, cycle int) []Transfer {
+	var trs []Transfer
+	for _, e := range g.Preds(id) {
+		if e.Kind != ir.DepTrue || e.From == id || !placed[e.From] || plc[e.From].Cluster == cluster {
+			continue
+		}
+		trs = append(trs, Transfer{From: e.From, Reg: e.Reg, Dest: cluster,
+			Cycle: TransferCycle(m, loop, plc, e.From)})
+	}
+	for _, e := range g.Succs(id) {
+		if e.Kind != ir.DepTrue || e.To == id || !placed[e.To] || plc[e.To].Cluster == cluster {
+			continue
+		}
+		trs = append(trs, Transfer{From: id, Reg: e.Reg, Dest: plc[e.To].Cluster,
+			Cycle: cycle + m.Latency(loop.Instrs[id].Class)})
+	}
+	return trs
+}
+
+// Heights returns, per instruction, the classic list-scheduling priority:
+// the longest latency path to a sink through intra-iteration (distance-0)
+// edges. It fails if the intra-iteration subgraph has a cycle.
+func Heights(g *ir.Graph) ([]int, error) {
+	topo, err := g.IntraTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	height := make([]int, g.NumNodes())
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, e := range g.Succs(v) {
+			if e.Distance != 0 {
+				continue
+			}
+			if h := e.Latency + height[e.To]; h > height[v] {
+				height[v] = h
+			}
+		}
+	}
+	return height, nil
+}
