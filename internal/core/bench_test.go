@@ -1,18 +1,45 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
 	"testing"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
 
+// benchResult is one backend × machine row of the machine-readable
+// benchmark output: speed (ns per full-corpus compile) and the three
+// summed quality metrics (lower is better on every axis).
+type benchResult struct {
+	Backend    string  `json:"backend"`
+	Machine    string  `json:"machine"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	SumII      int     `json:"sum_ii"`
+	SumMaxLive int     `json:"sum_max_live"`
+	SumUnroll  int     `json:"sum_unroll"`
+}
+
+// benchResultsPath is where BenchmarkCompile drops its JSON (relative
+// to the package directory the benchmark runs in); override with the
+// BENCH_RESULTS environment variable. CI uploads the file as an
+// artifact so the perf trajectory is trackable across PRs.
+func benchResultsPath() string {
+	if p := os.Getenv("BENCH_RESULTS"); p != "" {
+		return p
+	}
+	return "BENCH_results.json"
+}
+
 // BenchmarkCompile is the backend-quality trajectory benchmark: every
 // registered backend against every reference machine over the whole
-// example corpus. Besides ns/op it reports the summed II and MaxLive
-// across the corpus, so CI logs accumulate a quality trend (lower is
-// better on all three axes) alongside the usual speed numbers. Run as
+// example corpus. Besides ns/op it reports the summed II, MaxLive and
+// kernel unroll factor across the corpus, so CI logs accumulate a
+// quality trend alongside the usual speed numbers, and it writes the
+// same numbers to BENCH_results.json for machine consumption. Run as
 //
 //	go test -run '^$' -bench BenchmarkCompile ./internal/core/
 func BenchmarkCompile(b *testing.B) {
@@ -23,14 +50,16 @@ func BenchmarkCompile(b *testing.B) {
 		{"Unified", machine.Unified()},
 		{"Paper4Cluster", machine.Paper4Cluster()},
 	}
+	results := map[string]benchResult{}
 	for _, be := range Backends() {
 		for _, mc := range machines {
-			b.Run(fmt.Sprintf("%sx%s", be.Name(), mc.name), func(b *testing.B) {
+			key := fmt.Sprintf("%sx%s", be.Name(), mc.name)
+			b.Run(key, func(b *testing.B) {
 				loops := ir.ExampleLoops()
-				var sumII, sumMaxLive int
+				var sumII, sumMaxLive, sumUnroll int
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					sumII, sumMaxLive = 0, 0
+					sumII, sumMaxLive, sumUnroll = 0, 0, 0
 					for _, l := range loops {
 						r, err := CompileWith(be, l, mc.m)
 						if err != nil {
@@ -38,11 +67,48 @@ func BenchmarkCompile(b *testing.B) {
 						}
 						sumII += r.Schedule.II
 						sumMaxLive += r.Pressure.MaxLive
+						sumUnroll += r.Expanded.Unroll
 					}
 				}
 				b.ReportMetric(float64(sumII), "II")
 				b.ReportMetric(float64(sumMaxLive), "MaxLive")
+				b.ReportMetric(float64(sumUnroll), "unroll")
+				// Later (larger-N) runs of the same sub-benchmark
+				// overwrite earlier ones, so the file keeps the most
+				// settled timing.
+				results[key] = benchResult{
+					Backend:    be.Name(),
+					Machine:    mc.name,
+					NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					SumII:      sumII,
+					SumMaxLive: sumMaxLive,
+					SumUnroll:  sumUnroll,
+				}
 			})
 		}
+	}
+	writeBenchResults(b, results)
+}
+
+func writeBenchResults(b *testing.B, results map[string]benchResult) {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]benchResult, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, results[k])
+	}
+	data, err := json.MarshalIndent(struct {
+		Results []benchResult `json:"results"`
+	}{ordered}, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench results: %v", err)
+	}
+	if err := os.WriteFile(benchResultsPath(), append(data, '\n'), 0o644); err != nil {
+		// Benchmarks may run in read-only checkouts; the console
+		// metrics above still carry the numbers.
+		b.Logf("bench results not written: %v", err)
 	}
 }

@@ -40,15 +40,23 @@ type Result struct {
 	Schedule *sched.Schedule
 	// Pressure is the register-pressure profile of Schedule.
 	Pressure *regpress.Result
+	// Expanded is the modulo-variable-expanded kernel of Schedule:
+	// unroll factor, rotating register copies, prologue/epilogue stage
+	// maps. It is always Validate-clean — CompileWith fails instead of
+	// returning a kernel with a wrap-around redefinition.
+	Expanded *sched.ExpandedKernel
 }
 
-// Summary renders a one-line result digest for logs and CLIs. Backends
-// that spill report their store/reload traffic and the II increase
-// pressure cost them (from Schedule.Stats).
+// Summary renders a one-line result digest for logs and CLIs: the II
+// against its lower bound, steady-state and post-expansion pressure,
+// and the kernel unroll factor expansion needs. Backends that spill
+// also report their store/reload traffic and the II increase pressure
+// cost them (from Schedule.Stats).
 func (r *Result) Summary() string {
-	s := fmt.Sprintf("%s on %s: II=%d (ResMII=%d RecMII=%d) stages=%d MaxLive=%d by %s",
+	s := fmt.Sprintf("%s on %s: II=%d (ResMII=%d RecMII=%d) stages=%d MaxLive=%d unroll=%d xMaxLive=%d by %s",
 		r.Schedule.Loop.Name, r.Schedule.Machine.Name, r.Schedule.II,
-		r.MII.Res, r.MII.Rec, r.Schedule.StageCount(), r.Pressure.MaxLive, r.Schedule.By)
+		r.MII.Res, r.MII.Rec, r.Schedule.StageCount(), r.Pressure.MaxLive,
+		r.Expanded.Unroll, r.Expanded.MaxLive, r.Schedule.By)
 	if st := r.Schedule.Stats; st != nil && st["spill_stores"]+st["spill_loads"] > 0 {
 		s += fmt.Sprintf(" spills=%d/%d(+%dII)", st["spill_stores"], st["spill_loads"], st["spill_ii_increase"])
 	}
@@ -100,5 +108,13 @@ func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, er
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}
-	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press}, nil
+	// Expansion is self-checked: a kernel with a renamed register
+	// redefined before its last use never leaves this boundary. Analyze
+	// already validated the schedule and enumerated its lifetimes, so
+	// expansion reuses both instead of recomputing.
+	ek, err := out.ExpandWith(press.Lifetimes)
+	if err != nil {
+		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
+	}
+	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek}, nil
 }

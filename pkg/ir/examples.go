@@ -194,10 +194,60 @@ func Hydro() *Loop {
 	return l
 }
 
+// LongChain returns the canonical modulo-variable-expansion motivation
+// case: a two-multiply chain whose product registers are redefined every
+// iteration. Resources allow II=1 on the wide machines, but without MVE
+// the wrap-around anti edges (use of v1/v2 must issue before the next
+// iteration redefines them) force II >= the multiply latency — the
+// producer-latency II inflation Schedule.Expand exists to remove.
+// Scheduling against a graph built with BuildOptions.RenameCopies > 1
+// lets a backend reach the resource bound; expansion then renames the
+// overlapping copies of v1 and v2.
+//
+//	v1 = fmul v0, v0
+//	v2 = fmul v1, v0
+//	     store v2, v3
+//	v0 = add  v0
+//	v3 = add  v3
+//	     br   v0
+func LongChain() *Loop {
+	return &Loop{Name: "longchain", Instrs: []*Instruction{
+		ins(0, "fmul", machine.ClassMul, []VReg{1}, []VReg{0, 0}),
+		ins(1, "fmul", machine.ClassMul, []VReg{2}, []VReg{1, 0}),
+		ins(2, "store", machine.ClassMem, nil, []VReg{2, 3}),
+		ins(3, "add", machine.ClassALU, []VReg{0}, []VReg{0}),
+		ins(4, "add", machine.ClassALU, []VReg{3}, []VReg{3}),
+		ins(5, "br", machine.ClassBranch, nil, []VReg{0}),
+	}}
+}
+
+// CarriedCopy3 returns a software-pipelined copy/scale loop with a
+// distance-3 carried use, y[i] = c * y[i-3]: the multiply reads its own
+// result from three iterations back, so the value stays live across
+// three whole initiation intervals and modulo variable expansion needs
+// three rotating copies of v4 — the deep-rotation corpus case.
+//
+//	v4 = fmul v4[-3], v1   ; v1 = c, live-in
+//	     store v4, v5
+//	v5 = add  v5
+//	     br   v5
+func CarriedCopy3() *Loop {
+	fmul := ins(0, "fmul", machine.ClassMul, []VReg{4}, []VReg{4, 1})
+	fmul.CarriedUses = map[VReg]int{4: 3}
+	return &Loop{Name: "copy3", Instrs: []*Instruction{
+		fmul,
+		ins(1, "store", machine.ClassMem, nil, []VReg{4, 5}),
+		ins(2, "add", machine.ClassALU, []VReg{5}, []VReg{5}),
+		ins(3, "br", machine.ClassBranch, nil, []VReg{5}),
+	}}
+}
+
 // ExampleLoops returns the full example library, the corpus the tier-1
-// scheduler tests run over: the three classic regimes plus the two
-// high-pressure bodies (FIR8, Hydro) that exercise integrated spilling on
-// register-starved machines.
+// scheduler tests run over: the three classic regimes, the two
+// high-pressure bodies (FIR8, Hydro) that exercise integrated spilling
+// on register-starved machines, and the two MVE-sensitive bodies
+// (LongChain, CarriedCopy3) whose lifetimes overlap themselves and
+// exercise kernel unrolling in Schedule.Expand.
 func ExampleLoops() []*Loop {
-	return []*Loop{DotProduct(), FIR(), Livermore(), SingleInstruction(), FIR8(), Hydro()}
+	return []*Loop{DotProduct(), FIR(), Livermore(), SingleInstruction(), FIR8(), Hydro(), LongChain(), CarriedCopy3()}
 }

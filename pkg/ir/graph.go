@@ -76,7 +76,7 @@ type Graph struct {
 	preds [][]int // node -> indices into Edges (incoming)
 }
 
-// BuildOptions tunes dependence-edge latencies.
+// BuildOptions tunes dependence-edge latencies and distances.
 type BuildOptions struct {
 	// AntiLatency is the latency of anti edges. The default 0 lets a
 	// redefinition issue in the same cycle as the last read, which
@@ -84,6 +84,28 @@ type BuildOptions struct {
 	AntiLatency int
 	// OutputLatency is the latency of output edges; default 1.
 	OutputLatency int
+	// RenameCopies is the number of rotating register copies the
+	// scheduler may assume modulo variable expansion
+	// (sched.Schedule.Expand) will allocate per register. The default 1
+	// models a machine without renaming: a value must die before the
+	// next iteration overwrites its register, which is what forces
+	// II >= producer latency whenever a consumer trails its producer by
+	// more than II cycles — the wrap-around anti-edge penalty.
+	//
+	// With k copies, a use reading the definition from δ iterations
+	// back (δ = 0 for an ordinary same-iteration read, 1 for a
+	// wrap-around read, CarriedUses for explicit ones) conflicts only
+	// with the redefinition k-δ iterations ahead, because the
+	// intervening iterations write different renamed copies. Anti
+	// edges therefore carry distance max(0, k-δ) instead of the strict
+	// max(0, 1-δ), and the wrap-around output edge carries k: lifetimes
+	// may stretch up to k·II cycles and the expansion absorbs the
+	// overlap by renaming. Schedulers trade kernel size (the unroll
+	// factor) for II by scheduling against a relaxed graph. Registers
+	// with several definition sites in the body keep strict edges —
+	// their sites share a copy name within an iteration, so relaxation
+	// would be unsound. Values below 1 mean the default.
+	RenameCopies int
 }
 
 // Build derives the dependence graph of l against machine m.
@@ -104,9 +126,12 @@ func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	o := BuildOptions{AntiLatency: 0, OutputLatency: 1}
+	o := BuildOptions{AntiLatency: 0, OutputLatency: 1, RenameCopies: 1}
 	if opts != nil {
 		o = *opts
+	}
+	if o.RenameCopies < 1 {
+		o.RenameCopies = 1
 	}
 	g := &Graph{Loop: l}
 	n := l.NumInstrs()
@@ -160,9 +185,37 @@ func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
 				Latency: m.Latency(l.Instrs[from].Class), Reg: v})
 		}
 
-		// Anti edges: each use must issue no later than the next
-		// definition (plus AntiLatency).
+		// Anti edges: each use must issue no later than the conflicting
+		// redefinition of what it reads. With a single definition site
+		// and RenameCopies = k, a use reading δ iterations back
+		// conflicts with the redefinition k-δ iterations ahead (the
+		// ones between write different renamed copies); the strict
+		// k = 1 reproduces the classic rule — wrap-around reads bind
+		// the same iteration's definition, same-iteration reads the
+		// next iteration's. Multi-site registers keep strict edges to
+		// the next definition in body order.
+		single := len(dv) == 1
 		for _, u := range uses[v] {
+			if single {
+				delta := 0
+				if k, carried := carriedDistance(l.Instrs[u], v); carried {
+					delta = k
+				} else if u <= dv[0] {
+					delta = 1 // no definition precedes the use: a wrap-around read
+				}
+				dist := o.RenameCopies - delta
+				if dist < 0 {
+					dist = 0
+				}
+				if u == dv[0] && dist < 1 {
+					// A self anti edge (the instruction reads what it
+					// writes) is vacuous at distance >= 1 but would be
+					// unsatisfiable at 0 under a positive AntiLatency.
+					dist = 1
+				}
+				g.addEdge(Edge{From: u, To: dv[0], Kind: DepAnti, Distance: dist, Latency: o.AntiLatency, Reg: v})
+				continue
+			}
 			to, dist := -1, 0
 			for _, d := range dv {
 				if d > u {
@@ -177,10 +230,17 @@ func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
 		}
 
 		// Output edges: chain successive definitions, wrapping around.
+		// The wrap edge of a single-site register relaxes with
+		// RenameCopies — the same copy name recurs only every k
+		// iterations.
 		for i := 0; i+1 < len(dv); i++ {
 			g.addEdge(Edge{From: dv[i], To: dv[i+1], Kind: DepOutput, Distance: 0, Latency: o.OutputLatency, Reg: v})
 		}
-		g.addEdge(Edge{From: last, To: dv[0], Kind: DepOutput, Distance: 1, Latency: o.OutputLatency, Reg: v})
+		wrapOut := 1
+		if single {
+			wrapOut = o.RenameCopies
+		}
+		g.addEdge(Edge{From: last, To: dv[0], Kind: DepOutput, Distance: wrapOut, Latency: o.OutputLatency, Reg: v})
 	}
 	return g, nil
 }

@@ -130,9 +130,9 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 			firstComplete = ii
 		}
 		if out != nil {
-			out.Stats["ii_over_mii"] = ii - mii.MII
+			out.AddStat("ii_over_mii", ii-mii.MII)
 			if firstComplete > 0 {
-				out.Stats["spill_ii_increase"] = ii - firstComplete
+				out.AddStat("spill_ii_increase", ii-firstComplete)
 			}
 			return out, nil
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 )
@@ -61,11 +62,11 @@ func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
 			continue
 		}
 		length := 0
-		for _, v := range st.charged[k] {
-			if v.cluster != cluster {
+		for _, lt := range st.charged[k] {
+			if lt.Cluster != cluster {
 				continue
 			}
-			if l := v.end - v.start + 1; l > length {
+			if l := lt.Length(); l > length {
 				length = l
 			}
 		}
@@ -243,9 +244,9 @@ func (st *state) applySpill(id int, reg ir.VReg) bool {
 	st.loop, st.g = sp.Loop, sp.Graph
 	st.plc, st.placed, st.noSpill, st.forcedAt, st.height = plc, placed, noSpill, forcedAt, height
 	st.mrt, st.track = mrt, track
-	st.charged = map[defKey][]interval{}
+	st.charged = map[defKey][]life.Lifetime{}
 	st.liveIn = map[liveInKey]int{}
-	st.rebuildDefined()
+	st.refreshLifeView()
 
 	// Re-seat the surviving placements in the fresh MRT: unit slots,
 	// then bus transfers (one per cross-cluster true edge with both ends

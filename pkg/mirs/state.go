@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
@@ -37,9 +38,16 @@ type state struct {
 	maxSpill int
 	stats    map[string]int
 
-	defined map[ir.VReg]bool
-	liveIn  map[liveInKey]int
-	charged map[defKey][]interval
+	// lview is the life.View of the in-flight partial placement: the
+	// shared lifetime enumeration reads placements through it, so the
+	// pressure the placement loop steers on is, by construction, the
+	// same model regpress.Analyze settles with.
+	lview *life.View
+	// liveInUses[i] are the distinct live-in registers instruction i
+	// reads (life.LiveInUses), the refcount basis of liveInAdjust.
+	liveInUses [][]ir.VReg
+	liveIn     map[liveInKey]int
+	charged    map[defKey][]life.Lifetime
 
 	memLat, busLat int
 }
@@ -52,10 +60,6 @@ type defKey struct {
 type liveInKey struct {
 	reg     ir.VReg
 	cluster int
-}
-
-type interval struct {
-	cluster, start, end int
 }
 
 func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, maxSpills int) (*state, error) {
@@ -88,21 +92,28 @@ func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, ma
 		maxSpill: maxSpills,
 		stats:    map[string]int{"ejections": 0, "spill_stores": 0, "spill_loads": 0},
 		liveIn:   map[liveInKey]int{},
-		charged:  map[defKey][]interval{},
+		charged:  map[defKey][]life.Lifetime{},
 		memLat:   m.Latency(machine.ClassMem),
 		busLat:   m.BusLatency(),
 	}
-	st.rebuildDefined()
+	st.refreshLifeView()
 	return st, nil
 }
 
-func (st *state) rebuildDefined() {
-	st.defined = map[ir.VReg]bool{}
-	for _, in := range st.loop.Instrs {
-		for _, d := range in.Defs {
-			st.defined[d] = true
-		}
-	}
+// refreshLifeView rebinds the lifetime view and live-in use table to the
+// state's current loop/graph pair; call it whenever a spill swaps them.
+// The view's accessor reads st.plc/st.placed at query time, so placement
+// changes need no rebinding.
+func (st *state) refreshLifeView() {
+	st.lview = &life.View{Loop: st.loop, Graph: st.g, Machine: st.m, II: st.ii,
+		At: func(id int) (int, int, bool) {
+			if !st.placed[id] {
+				return 0, 0, false
+			}
+			p := st.plc[id]
+			return p.Cycle, p.Cluster, true
+		}}
+	st.liveInUses = life.LiveInUses(st.loop)
 }
 
 // nextUnplaced picks the next instruction to place: among the unplaced
@@ -463,56 +474,24 @@ func (st *state) refreshAround(x int) {
 }
 
 // refreshDef recomputes the pressure intervals of the value instruction
-// id writes to reg, mirroring regpress.Analyze: the local lifetime runs
-// from the definition to its last placed consumer (in the defining
-// iteration's time frame), and each consuming remote cluster is charged a
-// bus-delivered copy from arrival to its last local use.
+// id writes to reg through the shared lifetime enumeration (life.OfDef):
+// the local lifetime to its last placed consumer plus one bus-delivered
+// copy per consuming remote cluster — the identical model
+// regpress.Analyze settles the schedule with.
 func (st *state) refreshDef(id int, reg ir.VReg) {
 	k := defKey{id, reg}
-	for _, v := range st.charged[k] {
-		st.track.Remove(v.cluster, v.start, v.end)
+	for _, lt := range st.charged[k] {
+		st.track.RemoveLifetime(lt)
 	}
 	delete(st.charged, k)
-	if !st.placed[id] {
+	lts := life.OfDef(st.lview, id, reg)
+	if len(lts) == 0 {
 		return
 	}
-	start := st.plc[id].Cycle
-	end := start
-	var remote map[int]int
-	for _, e := range st.g.Succs(id) {
-		if e.Kind != ir.DepTrue || e.Reg != reg || !st.placed[e.To] {
-			continue
-		}
-		use := st.plc[e.To].Cycle + e.Distance*st.ii
-		if use > end {
-			end = use
-		}
-		if uc := st.plc[e.To].Cluster; uc != st.plc[id].Cluster {
-			if remote == nil {
-				remote = map[int]int{}
-			}
-			if cur, ok := remote[uc]; !ok || use > cur {
-				remote[uc] = use
-			}
-		}
+	for _, lt := range lts {
+		st.track.AddLifetime(lt)
 	}
-	ivs := []interval{{st.plc[id].Cluster, start, end}}
-	arrival := start + st.m.Latency(st.loop.Instrs[id].Class) + st.busLat
-	for uc := 0; uc < st.m.NumClusters(); uc++ {
-		lastUse, ok := remote[uc]
-		if !ok {
-			continue
-		}
-		s0 := arrival
-		if s0 > lastUse {
-			s0 = lastUse
-		}
-		ivs = append(ivs, interval{uc, s0, lastUse})
-	}
-	for _, v := range ivs {
-		st.track.Add(v.cluster, v.start, v.end)
-	}
-	st.charged[k] = ivs
+	st.charged[k] = lts
 }
 
 // liveInAdjust charges (delta=+1) or releases (delta=-1) whole-kernel
@@ -520,22 +499,15 @@ func (st *state) refreshDef(id int, reg ir.VReg) {
 // cluster, reference-counted across that cluster's consumers.
 func (st *state) liveInAdjust(x, delta int) {
 	ci := st.plc[x].Cluster
-	var seen map[ir.VReg]bool
-	for _, u := range st.loop.Instrs[x].Uses {
-		if st.defined[u] || seen[u] {
-			continue
-		}
-		if seen == nil {
-			seen = map[ir.VReg]bool{}
-		}
-		seen[u] = true
+	for _, u := range st.liveInUses[x] {
 		k := liveInKey{u, ci}
 		st.liveIn[k] += delta
+		lt := life.Lifetime{Reg: u, Def: -1, Cluster: ci, Start: 0, End: st.ii - 1}
 		if delta > 0 && st.liveIn[k] == 1 {
-			st.track.Add(ci, 0, st.ii-1)
+			st.track.AddLifetime(lt)
 		}
 		if delta < 0 && st.liveIn[k] == 0 {
-			st.track.Remove(ci, 0, st.ii-1)
+			st.track.RemoveLifetime(lt)
 		}
 	}
 }

@@ -7,51 +7,27 @@
 // the initiation interval. This package only *measures*; acting on the
 // measurement belongs to the scheduler backends.
 //
-// The model follows the paper's MaxLive definition. A value lives from
-// the issue cycle of its defining instruction to the issue cycle of its
-// last consumer (which, for a consumer e with dependence distance d, is
-// start(e.To) + d*II in the defining iteration's time frame). Because
-// iterations overlap every II cycles, a lifetime of length L contributes
-// to ceil-wise overlapping copies of itself: the analysis folds the flat
-// interval into the II kernel cycles, counting one live value per time
-// the interval covers a cycle congruent to c (mod II) — exactly the
-// number of simultaneously live copies the steady state sustains.
-// Live-in values (used but never defined in the body) hold a register on
-// every kernel cycle, in each cluster that consumes them.
+// The live ranges themselves come from pkg/life, the single authoritative
+// lifetime enumeration (definition to last consumer, loop-carried reads
+// included, bus-delivered copies and live-ins charged to consuming
+// clusters). This package folds those flat intervals into the II kernel
+// cycles: an interval covers kernel cycle c once per flat cycle congruent
+// to c (mod II) it spans — exactly the number of simultaneously live
+// copies the steady state sustains.
 package regpress
 
 import (
 	"fmt"
 
-	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 )
 
-// Lifetime is the live range of one produced value in the flat time
-// frame of its defining iteration.
-type Lifetime struct {
-	// Reg is the virtual register holding the value.
-	Reg ir.VReg
-	// Def is the defining instruction's ID, or -1 for a live-in value
-	// (used by the loop but defined outside it), which occupies a
-	// register on every kernel cycle.
-	Def int
-	// Cluster is the cluster whose register file holds the value: the
-	// defining instruction's cluster for the original, or a consuming
-	// cluster for a bus-delivered copy.
-	Cluster int
-	// Start is the issue cycle of the definition.
-	Start int
-	// End is the issue cycle of the last consumer, in the defining
-	// iteration's time frame (>= Start; equal when the value is dead or
-	// consumed at issue).
-	End int
-}
-
-// Length returns the number of kernel cycles the value occupies a
-// register, counting the definition cycle itself.
-func (lt Lifetime) Length() int { return lt.End - lt.Start + 1 }
+// Lifetime is the live range of one value; see life.Lifetime. The alias
+// keeps pressure results self-contained for callers that only deal with
+// this package.
+type Lifetime = life.Lifetime
 
 // Result is the pressure profile of one schedule.
 type Result struct {
@@ -61,7 +37,9 @@ type Result struct {
 	// II is the schedule's initiation interval; all per-cycle slices
 	// have length II.
 	II int
-	// Lifetimes lists every analysed live range.
+	// Lifetimes lists every analysed live range, as enumerated by
+	// life.Lifetimes: definitions in instruction-ID order (local range
+	// first, bus-delivered copies after), then live-ins.
 	Lifetimes []Lifetime
 	// PerCycle is the machine-wide live-value count at each kernel
 	// cycle 0..II-1.
@@ -105,108 +83,12 @@ func Analyze(s *sched.Schedule) (*Result, error) {
 	for ci := range r.PerCluster {
 		r.PerCluster[ci] = make([]int, s.II)
 	}
-
-	// One lifetime per defining instruction per defined register,
-	// stretched to the latest consumer over the true dependence edges
-	// that read this specific definition. A consumer on another cluster
-	// receives a bus-delivered copy, which occupies a register in the
-	// consumer's file from delivery to its last local use — that copy is
-	// a separate lifetime charged to the consuming cluster.
-	type defKey struct {
-		id  int
-		reg ir.VReg
-	}
-	end := map[defKey]int{}
-	remoteEnd := map[defKey]map[int]int{} // consumer cluster -> last use there
-	for id, in := range s.Loop.Instrs {
-		for _, d := range in.Defs {
-			end[defKey{id, d}] = s.Start(id)
-		}
-	}
-	for i := range s.Graph.Edges {
-		e := &s.Graph.Edges[i]
-		if e.Kind != ir.DepTrue {
-			continue
-		}
-		k := defKey{e.From, e.Reg}
-		if _, ok := end[k]; !ok {
-			continue
-		}
-		use := s.Start(e.To) + e.Distance*s.II
-		if use > end[k] {
-			end[k] = use
-		}
-		if uc := s.Placements[e.To].Cluster; uc != s.Placements[e.From].Cluster {
-			if remoteEnd[k] == nil {
-				remoteEnd[k] = map[int]int{}
-			}
-			if cur, ok := remoteEnd[k][uc]; !ok || use > cur {
-				remoteEnd[k][uc] = use
-			}
-		}
-	}
-	addLifetime := func(lt Lifetime) {
-		r.Lifetimes = append(r.Lifetimes, lt)
+	r.Lifetimes = life.Lifetimes(s.LifeView())
+	for _, lt := range r.Lifetimes {
 		for t := lt.Start; t <= lt.End; t++ {
 			c := t % s.II
 			r.PerCycle[c]++
 			r.PerCluster[lt.Cluster][c]++
-		}
-	}
-	for id, in := range s.Loop.Instrs {
-		for _, d := range in.Defs {
-			k := defKey{id, d}
-			addLifetime(Lifetime{
-				Reg:     d,
-				Def:     id,
-				Cluster: s.Placements[id].Cluster,
-				Start:   s.Start(id),
-				End:     end[k],
-			})
-			// Bus-delivered copies in consuming clusters: live from
-			// arrival (producer latency + bus) to the last local use.
-			arrival := s.Start(id) + s.Machine.Latency(in.Class) + s.Machine.BusLatency()
-			for uc := 0; uc < s.Machine.NumClusters(); uc++ {
-				lastUse, ok := remoteEnd[k][uc]
-				if !ok {
-					continue
-				}
-				start := arrival
-				if start > lastUse {
-					start = lastUse
-				}
-				addLifetime(Lifetime{Reg: d, Def: id, Cluster: uc, Start: start, End: lastUse})
-			}
-		}
-	}
-
-	// Live-in values (used but never defined in the body — loop
-	// invariants, base addresses, coefficients) occupy a register on
-	// every kernel cycle, one per cluster that consumes them.
-	defined := map[ir.VReg]bool{}
-	for _, in := range s.Loop.Instrs {
-		for _, d := range in.Defs {
-			defined[d] = true
-		}
-	}
-	liveInClusters := map[ir.VReg]map[int]bool{}
-	for id, in := range s.Loop.Instrs {
-		for _, u := range in.Uses {
-			if defined[u] {
-				continue
-			}
-			if liveInClusters[u] == nil {
-				liveInClusters[u] = map[int]bool{}
-			}
-			liveInClusters[u][s.Placements[id].Cluster] = true
-		}
-	}
-	for _, v := range s.Loop.VRegs() {
-		clusters := liveInClusters[v]
-		for ci := 0; ci < s.Machine.NumClusters(); ci++ {
-			if clusters[ci] {
-				addLifetime(Lifetime{Reg: v, Def: -1, Cluster: ci, Start: 0, End: s.II - 1})
-			}
 		}
 	}
 	for _, n := range r.PerCycle {

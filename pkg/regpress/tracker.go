@@ -3,6 +3,7 @@ package regpress
 import (
 	"fmt"
 
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
 
@@ -46,6 +47,14 @@ func (t *Tracker) Add(cluster, start, end int) { t.bump(cluster, start, end, 1) 
 
 // Remove undoes a previous Add of the same interval.
 func (t *Tracker) Remove(cluster, start, end int) { t.bump(cluster, start, end, -1) }
+
+// AddLifetime charges one enumerated live range (pkg/life) to its
+// cluster — the preferred interface for schedulers mirroring the
+// authoritative lifetime model interval by interval.
+func (t *Tracker) AddLifetime(lt life.Lifetime) { t.bump(lt.Cluster, lt.Start, lt.End, 1) }
+
+// RemoveLifetime undoes a previous AddLifetime of the same range.
+func (t *Tracker) RemoveLifetime(lt life.Lifetime) { t.bump(lt.Cluster, lt.Start, lt.End, -1) }
 
 func (t *Tracker) bump(cluster, start, end, delta int) {
 	if end < start {

@@ -1,0 +1,420 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/life"
+)
+
+// This file implements modulo variable expansion (MVE): turning a valid
+// modulo schedule into an emittable kernel for a machine without
+// rotating registers. A value whose lifetime exceeds II cycles has
+// several instances simultaneously live in the steady state; since every
+// iteration writes the same virtual register, the kernel must be
+// unrolled and each unrolled iteration's definitions renamed onto
+// rotating copies so no instance is clobbered before its last use. The
+// copy counts come from pkg/life — the same lifetime intervals register
+// pressure is measured on — and the kernel unroll factor is the lcm of
+// the per-register counts, so every copy sequence realigns at the
+// kernel's end.
+
+// RegCopy names one rotating copy of a virtual register in the expanded
+// kernel: copy c of register v holds the values produced by iterations
+// i with i mod Copies(v) == c. Live-in registers never rotate and always
+// appear as copy 0.
+type RegCopy struct {
+	Reg  ir.VReg
+	Copy int
+}
+
+// String formats a renamed register as "v3.1".
+func (rc RegCopy) String() string { return fmt.Sprintf("%s.%d", rc.Reg, rc.Copy) }
+
+// ExpandedInstr is one instruction instance of the expanded kernel: the
+// original instruction, which unrolled iteration it belongs to, its
+// issue cycle within the expanded kernel, and its renamed operands.
+type ExpandedInstr struct {
+	// ID is the original instruction's ID in Schedule.Loop.
+	ID int
+	// Iteration is the unroll index u in [0, Unroll): this instance
+	// executes loop iterations i with i mod Unroll == u.
+	Iteration int
+	// Cycle is the issue cycle within the expanded kernel, in
+	// [0, Unroll*II): (u*II + flat cycle) mod (Unroll*II).
+	Cycle int
+	// Defs and Uses are the renamed operands, parallel to the original
+	// instruction's Defs and Uses slices.
+	Defs []RegCopy
+	Uses []RegCopy
+}
+
+// StageOp is one instruction instance of a prologue or epilogue stage.
+type StageOp struct {
+	// ID is the instruction executing.
+	ID int
+	// Iteration identifies the loop iteration the instance belongs to:
+	// in a prologue stage it counts from the first iteration (0 = the
+	// first), in an epilogue stage from the last (0 = the final
+	// iteration, 1 = the one before it, ...).
+	Iteration int
+}
+
+// ExpandedKernel is the modulo-variable-expanded form of a schedule:
+// the steady-state kernel unrolled Unroll times with rotating register
+// copies renamed per unrolled iteration, plus the prologue/epilogue
+// stage maps a code emitter needs to fill and drain the pipeline.
+type ExpandedKernel struct {
+	// Schedule is the schedule the kernel was expanded from.
+	Schedule *Schedule
+	// Unroll is the kernel unroll factor: the lcm of the per-register
+	// copy counts, so that after Unroll iterations every rotation
+	// realigns and the kernel can branch back to its own top.
+	Unroll int
+	// Copies maps each register defined in the loop to its rotating
+	// copy count: the maximum number of simultaneously live instances
+	// any of its definitions sustains (1 = no rotation needed).
+	Copies map[ir.VReg]int
+	// Stage is each instruction's kernel stage, flat cycle / II.
+	Stage []int
+	// Instrs lists the Unroll × NumInstrs instruction instances of the
+	// expanded kernel, iteration-major, instruction-ID order within an
+	// iteration.
+	Instrs []ExpandedInstr
+	// Prologue maps the StageCount-1 fill stages: Prologue[p] lists the
+	// instances executing in prologue stage p — every instruction whose
+	// kernel stage is <= p, for iteration p - stage (counted from the
+	// first iteration).
+	Prologue [][]StageOp
+	// Epilogue maps the StageCount-1 drain stages: Epilogue[e] lists
+	// the instances executing in epilogue stage e — every instruction
+	// whose kernel stage is >= e+1, for iteration stage-(e+1) counted
+	// back from the final iteration (0 = the final one).
+	Epilogue [][]StageOp
+	// MaxLive is the post-expansion register pressure: the maximum
+	// number of simultaneously live renamed values over the expanded
+	// kernel's Unroll*II cycles. Renaming does not change what is live,
+	// so this equals the pre-expansion steady-state MaxLive — recomputed
+	// here from the expanded form as a consistency check.
+	MaxLive int
+	// Registers is the number of distinct architectural register names
+	// the expanded kernel consumes: the sum of Copies over defined
+	// registers plus one name per live-in register.
+	Registers int
+}
+
+// Expand performs modulo variable expansion on a valid schedule. It
+// enumerates the schedule's lifetimes (pkg/life), derives each defined
+// register's rotating copy count from its longest instance — a value
+// live L cycles past its definition needs ceil(L/II) register names,
+// reuse exactly at the last-use cycle being legal because operands are
+// read at issue — unrolls the
+// kernel by the lcm of those counts, renames every unrolled iteration's
+// operands onto its copies, and builds the prologue/epilogue stage maps.
+// The result is self-checked: Expand returns an error if the expanded
+// kernel fails Validate, so a returned kernel is guaranteed free of
+// wrap-around redefinitions.
+func (s *Schedule) Expand() (*ExpandedKernel, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: expand: %w", err)
+	}
+	return s.ExpandWith(life.Lifetimes(s.LifeView()))
+}
+
+// ExpandWith is Expand for callers that have already validated the
+// schedule and hold its lifetime enumeration — typically the Lifetimes
+// of a regpress analysis, which Analyze computed from the same
+// life.View. It skips the redundant re-validation and re-enumeration;
+// passing lifetimes that do not belong to this schedule yields a
+// kernel-validation error at best and a nonsense kernel at worst.
+func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
+	n := s.Loop.NumInstrs()
+
+	// Rotating copy counts. With several definition sites of one
+	// register in the body, all sites of one iteration share a copy
+	// name, and the name recurs Copies(v) iterations later at the
+	// *earliest* defining site — so the count is measured against the
+	// register's earliest definition cycle, not each site's own.
+	minStart := map[ir.VReg]int{}
+	for id, in := range s.Loop.Instrs {
+		for _, d := range in.Defs {
+			if cur, ok := minStart[d]; !ok || s.Start(id) < cur {
+				minStart[d] = s.Start(id)
+			}
+		}
+	}
+	copies := map[ir.VReg]int{}
+	for _, lt := range lts {
+		if lt.Def < 0 || lt.Cluster != s.Placements[lt.Def].Cluster {
+			continue // live-ins don't rotate; remote ends never exceed local
+		}
+		need := (lt.End - minStart[lt.Reg] + s.II - 1) / s.II
+		if need < 1 {
+			need = 1
+		}
+		if need > copies[lt.Reg] {
+			copies[lt.Reg] = need
+		}
+	}
+	unroll := 1
+	for _, c := range copies {
+		unroll = lcm(unroll, c)
+	}
+
+	reach, _ := reachingDefs(s)
+
+	ek := &ExpandedKernel{
+		Schedule: s,
+		Unroll:   unroll,
+		Copies:   copies,
+		Stage:    make([]int, n),
+	}
+	for id := range ek.Stage {
+		ek.Stage[id] = s.Start(id) / s.II
+	}
+
+	period := unroll * s.II
+	nameOf := func(v ir.VReg, iter int) RegCopy {
+		c := copies[v]
+		if c == 0 {
+			return RegCopy{Reg: v, Copy: 0} // live-in: never renamed
+		}
+		return RegCopy{Reg: v, Copy: ((iter % c) + c) % c}
+	}
+	for u := 0; u < unroll; u++ {
+		for id, in := range s.Loop.Instrs {
+			xi := ExpandedInstr{ID: id, Iteration: u, Cycle: (u*s.II + s.Start(id)) % period}
+			for _, d := range in.Defs {
+				xi.Defs = append(xi.Defs, nameOf(d, u))
+			}
+			for _, uv := range in.Uses {
+				d, defined := reach[[2]int{id, int(uv)}]
+				if !defined {
+					xi.Uses = append(xi.Uses, RegCopy{Reg: uv, Copy: 0})
+					continue
+				}
+				xi.Uses = append(xi.Uses, nameOf(uv, u-d))
+			}
+			ek.Instrs = append(ek.Instrs, xi)
+		}
+	}
+
+	// Prologue/epilogue stage maps: StageCount-1 stages each.
+	sc := s.StageCount()
+	for p := 0; p < sc-1; p++ {
+		var ops []StageOp
+		for id := 0; id < n; id++ {
+			if ek.Stage[id] <= p {
+				ops = append(ops, StageOp{ID: id, Iteration: p - ek.Stage[id]})
+			}
+		}
+		ek.Prologue = append(ek.Prologue, ops)
+	}
+	for e := 0; e < sc-1; e++ {
+		var ops []StageOp
+		for id := 0; id < n; id++ {
+			if ek.Stage[id] >= e+1 {
+				ops = append(ops, StageOp{ID: id, Iteration: ek.Stage[id] - (e + 1)})
+			}
+		}
+		ek.Epilogue = append(ek.Epilogue, ops)
+	}
+
+	// Post-expansion pressure and register-name count: fold every
+	// lifetime's Unroll per-iteration instances over the expanded
+	// period.
+	perCycle := make([]int, period)
+	for _, lt := range lts {
+		for u := 0; u < unroll; u++ {
+			for t := lt.Start + u*s.II; t <= lt.End+u*s.II; t++ {
+				perCycle[((t%period)+period)%period]++
+			}
+		}
+	}
+	for _, c := range perCycle {
+		if c > ek.MaxLive {
+			ek.MaxLive = c
+		}
+	}
+	liveIns := map[ir.VReg]bool{}
+	for _, lt := range lts {
+		if lt.Def < 0 {
+			liveIns[lt.Reg] = true
+		}
+	}
+	for _, c := range copies {
+		ek.Registers += c
+	}
+	ek.Registers += len(liveIns)
+
+	if err := ek.validate(lts); err != nil {
+		return nil, fmt.Errorf("sched: expand: internal: %w", err)
+	}
+	return ek, nil
+}
+
+// Validate checks the expanded kernel: the underlying schedule is valid,
+// and — the property expansion exists to establish — no renamed register
+// copy is redefined before the last use of the value it holds, i.e. the
+// wrap-around redefinition constraint of the unexpanded form is absent.
+// It also re-derives every instance's renaming from the dependence graph
+// and rejects any mismatch, so a hand-altered kernel cannot silently
+// mis-wire operands.
+func (ek *ExpandedKernel) Validate() error {
+	if ek.Schedule == nil {
+		return fmt.Errorf("sched: expanded kernel without schedule")
+	}
+	if err := ek.Schedule.Validate(); err != nil {
+		return err
+	}
+	return ek.validate(life.Lifetimes(ek.Schedule.LifeView()))
+}
+
+// validate is Validate with the schedule check and lifetime enumeration
+// hoisted out, so Expand — which has just validated the schedule and
+// already holds the enumeration — does not pay for them twice.
+func (ek *ExpandedKernel) validate(lts []life.Lifetime) error {
+	s := ek.Schedule
+	if ek.Unroll < 1 {
+		return fmt.Errorf("sched: expanded kernel with unroll %d < 1", ek.Unroll)
+	}
+	if len(ek.Instrs) != ek.Unroll*s.Loop.NumInstrs() {
+		return fmt.Errorf("sched: expanded kernel has %d instances, want %d",
+			len(ek.Instrs), ek.Unroll*s.Loop.NumInstrs())
+	}
+	period := ek.Unroll * s.II
+
+	// No copy redefined before its value's last use. Collect, per
+	// renamed copy, every definition event over one expanded period
+	// (def time, value end time, both in the flat frame), then check
+	// each value dies before the next definition of the same name —
+	// the wrap to the following period included. A redefinition *at*
+	// the last-use cycle is legal: operands are read at issue.
+	type defEvent struct{ t, end int }
+	events := map[RegCopy][]defEvent{}
+	for _, lt := range lts {
+		if lt.Def < 0 || lt.Cluster != s.Placements[lt.Def].Cluster {
+			continue // live-ins are never redefined; remote copies mirror the local range
+		}
+		c := ek.Copies[lt.Reg]
+		if c < 1 {
+			return fmt.Errorf("sched: expanded kernel has no copy count for defined register %s", lt.Reg)
+		}
+		for u := 0; u < ek.Unroll; u++ {
+			name := RegCopy{Reg: lt.Reg, Copy: u % c}
+			events[name] = append(events[name], defEvent{t: lt.Start + u*s.II, end: lt.End + u*s.II})
+		}
+	}
+	for name, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+		for i, ev := range evs {
+			next := evs[0].t + period
+			if i+1 < len(evs) {
+				next = evs[i+1].t
+			}
+			if ev.end > next {
+				return fmt.Errorf("sched: renamed register %s defined at cycle %d is redefined at %d before its last use at %d (unroll %d, II %d)",
+					name, ev.t, next, ev.end, ek.Unroll, s.II)
+			}
+		}
+	}
+
+	// Renaming consistency: every use reads the copy its reaching
+	// definition (Iteration - edge distance) wrote.
+	reach, defined := reachingDefs(s)
+	for _, xi := range ek.Instrs {
+		in := s.Loop.Instrs[xi.ID]
+		if len(xi.Defs) != len(in.Defs) || len(xi.Uses) != len(in.Uses) {
+			return fmt.Errorf("sched: expanded instance of instruction %d has %d/%d operands, want %d/%d",
+				xi.ID, len(xi.Defs), len(xi.Uses), len(in.Defs), len(in.Uses))
+		}
+		for j, d := range in.Defs {
+			c := ek.Copies[d]
+			if c < 1 {
+				return fmt.Errorf("sched: expanded kernel has no copy count for defined register %s", d)
+			}
+			if want := xi.Iteration % c; xi.Defs[j].Reg != d || xi.Defs[j].Copy != want {
+				return fmt.Errorf("sched: instance (%d, iter %d) defines %s, want %s.%d",
+					xi.ID, xi.Iteration, xi.Defs[j], d, want)
+			}
+		}
+		for j, uv := range in.Uses {
+			want := RegCopy{Reg: uv, Copy: 0}
+			if d, ok := reach[[2]int{xi.ID, int(uv)}]; ok && defined[uv] {
+				c := ek.Copies[uv]
+				want.Copy = (((xi.Iteration - d) % c) + c) % c
+			}
+			if xi.Uses[j] != want {
+				return fmt.Errorf("sched: instance (%d, iter %d) reads %s for %s, want %s",
+					xi.ID, xi.Iteration, xi.Uses[j], uv, want)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the expanded kernel header and per-iteration renamings,
+// for debugging and golden tests.
+func (ek *ExpandedKernel) String() string {
+	s := ek.Schedule
+	out := fmt.Sprintf("%s expanded: II=%d unroll=%d kernel=%d cycles regs=%d maxlive=%d\n",
+		s.Loop.Name, s.II, ek.Unroll, ek.Unroll*s.II, ek.Registers, ek.MaxLive)
+	for _, xi := range ek.Instrs {
+		in := s.Loop.Instrs[xi.ID]
+		line := fmt.Sprintf("  [i%%%d=%d c%d] %s", ek.Unroll, xi.Iteration, xi.Cycle, in.Op)
+		for j := range xi.Defs {
+			if j > 0 {
+				line += ","
+			}
+			line += " " + xi.Defs[j].String()
+		}
+		if len(xi.Uses) > 0 {
+			line += " <-"
+			for j := range xi.Uses {
+				if j > 0 {
+					line += ","
+				}
+				line += " " + xi.Uses[j].String()
+			}
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+// reachingDefs derives, from the schedule's graph, the dependence
+// distance of each use's reaching definition — keyed by (consumer ID,
+// register) — and the set of registers the loop defines. The renaming
+// builder and the kernel validator both read the same derivation, so
+// they cannot drift apart.
+func reachingDefs(s *Schedule) (reach map[[2]int]int, defined map[ir.VReg]bool) {
+	reach = map[[2]int]int{}
+	defined = map[ir.VReg]bool{}
+	for i := range s.Graph.Edges {
+		e := &s.Graph.Edges[i]
+		if e.Kind == ir.DepTrue {
+			reach[[2]int{e.To, int(e.Reg)}] = e.Distance
+		}
+	}
+	for _, in := range s.Loop.Instrs {
+		for _, d := range in.Defs {
+			defined[d] = true
+		}
+	}
+	return reach, defined
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

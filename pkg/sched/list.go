@@ -62,6 +62,7 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 			continue
 		}
 		if err := s.Validate(); err == nil {
+			s.AddStat("ii_over_mii", ii-mii.MII)
 			return s, nil
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
 
@@ -101,6 +102,30 @@ type Schedule struct {
 
 // Start returns the flat issue cycle of instruction id.
 func (s *Schedule) Start(id int) int { return s.Placements[id].Cycle }
+
+// AddStat bumps a backend statistic by n, lazily allocating the Stats
+// map. Backends must use it (rather than writing the map directly) so a
+// schedule that never reported anything can still take late stats — and
+// an n of zero still materialises the key, which is how backends declare
+// a counter they track even when it stayed at zero.
+func (s *Schedule) AddStat(key string, n int) {
+	if s.Stats == nil {
+		s.Stats = map[string]int{}
+	}
+	s.Stats[key] += n
+}
+
+// LifeView returns the life.View of this (complete) schedule: the input
+// the shared lifetime enumeration (pkg/life), the pressure analysis
+// built on it (regpress.Analyze) and modulo variable expansion (Expand)
+// all read placements through.
+func (s *Schedule) LifeView() *life.View {
+	return &life.View{Loop: s.Loop, Graph: s.Graph, Machine: s.Machine, II: s.II,
+		At: func(id int) (int, int, bool) {
+			p := s.Placements[id]
+			return p.Cycle, p.Cluster, true
+		}}
+}
 
 // At returns the ID of the instruction occupying (cycle mod II, cluster,
 // slot) in the steady-state kernel, or -1 if the slot is empty.
