@@ -1,0 +1,354 @@
+// Command msched is the batch front-end of the modulo-scheduling stack:
+// it generates seed-keyed loop populations (pkg/gen), compiles them
+// concurrently across scheduler backends and machine configurations
+// (internal/driver), and emits the aggregate quality tables as JSON/CSV
+// — the same artifact CI gates on and humans read.
+//
+//	msched run     -seed 1 -n 200 [-strict] [-timing] [-o report.json]
+//	msched gen     -seed 1 -n 3 [-corner pressure] [-json]
+//	msched compare [-baseline BENCH_baseline.json] [-update-baseline]
+//
+// `run` sweeps a generated population over backends × machines and
+// reports II/MII distributions, spill traffic, fit rates and throughput;
+// with -strict any per-loop failure makes the exit status non-zero.
+// Without -timing the report is byte-deterministic in (seed, n, grid) —
+// the CI determinism smoke runs it twice and diffs.
+//
+// `gen` prints generated loops for eyeballing and for reducing driver
+// findings to standalone repro cases.
+//
+// `compare` recomputes the gated quality rows (examples corpus + a
+// pinned generated population, every backend × gate machine) and diffs
+// them against the committed baseline: any ΣII or ΣMaxLive regression
+// fails the gate (exit 1). -update-baseline rewrites the baseline file
+// instead — the one-command local refresh after an intentional change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/core"
+	"github.com/paper-repo-growth/mirs/internal/driver"
+	"github.com/paper-repo-growth/mirs/internal/report"
+	"github.com/paper-repo-growth/mirs/pkg/gen"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+func main() { os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// Main is the testable entry point: it dispatches the subcommand and
+// returns the process exit code (0 ok, 1 gate/strict failure, 2 usage).
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "gen":
+		return cmdGen(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "msched: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: msched <run|gen|compare> [flags]
+
+  run      generate a loop population and batch-compile it across
+           backends x machines; emit aggregate quality tables
+  gen      print generated loops
+  compare  gate current scheduler quality against BENCH_baseline.json
+           (-update-baseline to refresh it)
+
+run 'msched <cmd> -h' for per-command flags
+`)
+}
+
+// machinesByName resolves a comma-separated machine list. "all" expands
+// to every canned configuration.
+func machinesByName(spec string) ([]*machine.Machine, error) {
+	canned := map[string]func() *machine.Machine{
+		"unified":        machine.Unified,
+		"paper-4cluster": machine.Paper4Cluster,
+		"tight":          machine.Tight,
+	}
+	if spec == "all" {
+		return []*machine.Machine{machine.Unified(), machine.Paper4Cluster(), machine.Tight()}, nil
+	}
+	var out []*machine.Machine
+	for _, name := range strings.Split(spec, ",") {
+		f, ok := canned[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown machine %q (have: unified, paper-4cluster, tight, all)", name)
+		}
+		out = append(out, f())
+	}
+	return out, nil
+}
+
+// backendsByName resolves a comma-separated backend list against the
+// core registry. "all" expands to every registered backend.
+func backendsByName(spec string) ([]sched.Scheduler, error) {
+	reg := core.Backends()
+	if spec == "all" {
+		return reg, nil
+	}
+	byName := map[string]sched.Scheduler{}
+	for _, b := range reg {
+		byName[b.Name()] = b
+	}
+	var out []sched.Scheduler
+	for _, name := range strings.Split(spec, ",") {
+		b, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (have: %s, all)", name, strings.Join(backendNames(reg), ", "))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func backendNames(bs []sched.Scheduler) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msched run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "generator master seed")
+	n := fs.Int("n", 200, "number of generated loops")
+	backends := fs.String("backends", "all", "comma-separated backends, or all")
+	machines := fs.String("machines", "unified,paper-4cluster", "comma-separated machines, or all")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
+	timing := fs.Bool("timing", false, "include wall-clock fields (breaks byte-determinism)")
+	keep := fs.Bool("keep-outcomes", false, "retain every per-compilation outcome in the report")
+	strict := fs.Bool("strict", false, "exit 1 if any compilation fails")
+	out := fs.String("o", "", "write the full JSON report to this file")
+	csvOut := fs.String("csv", "", "write baseline-style rows as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	bes, err := backendsByName(*backends)
+	if err != nil {
+		fmt.Fprintln(stderr, "msched run:", err)
+		return 2
+	}
+	ms, err := machinesByName(*machines)
+	if err != nil {
+		fmt.Fprintln(stderr, "msched run:", err)
+		return 2
+	}
+	spec := driver.Spec{
+		Corpus:   fmt.Sprintf("gen:seed=%d,n=%d", *seed, *n),
+		Loops:    gen.Corpus(*seed, *n),
+		Backends: bes,
+		Machines: ms,
+	}
+	rep := driver.Run(spec, driver.Options{
+		Workers: *workers, Timeout: *timeout, Timing: *timing, KeepOutcomes: *keep,
+	})
+	printSummary(stdout, rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "msched run: marshal report:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "msched run:", err)
+			return 1
+		}
+	}
+	if *csvOut != "" {
+		f := &report.File{Rows: rep.Rows()}
+		if err := os.WriteFile(*csvOut, []byte(f.CSV()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "msched run:", err)
+			return 1
+		}
+	}
+	if *strict && rep.Failures > 0 {
+		fmt.Fprintf(stderr, "msched run: %d of %d compilations failed (strict mode)\n", rep.Failures, rep.Jobs)
+		return 1
+	}
+	return 0
+}
+
+// printSummary renders the paper-style aggregate table for humans.
+func printSummary(w io.Writer, rep *driver.Report) {
+	fmt.Fprintf(w, "corpus %s: %d loops x %d backend-machine combos = %d compilations, %d failures\n",
+		rep.Corpus, rep.Loops, len(rep.Combos), rep.Jobs, rep.Failures)
+	fmt.Fprintf(w, "%-6s %-15s %9s %7s %7s %9s %9s %11s\n",
+		"bcknd", "machine", "compiled", "at-MII", "fit", "sum II", "maxlive", "spills st/ld")
+	for i := range rep.Combos {
+		c := &rep.Combos[i]
+		fmt.Fprintf(w, "%-6s %-15s %5d/%-3d %6.0f%% %6.0f%% %9d %9d %7d/%d\n",
+			c.Backend, c.Machine, c.Compiled, c.Loops,
+			pct(c.AtMII, c.Compiled), 100*c.FitRate(), c.SumII, c.SumMaxLive,
+			c.SpillStores, c.SpillLoads)
+	}
+	if rep.ElapsedSeconds > 0 {
+		fmt.Fprintf(w, "wall clock %.2fs, %.0f compilations/sec across %d workers\n",
+			rep.ElapsedSeconds, rep.LoopsPerSec, rep.Workers)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Err != "" {
+			// First line only: panics carry a trimmed stack the JSON keeps.
+			msg := o.Err
+			if i := strings.IndexByte(msg, '\n'); i >= 0 {
+				msg = msg[:i] + " ..."
+			}
+			fmt.Fprintf(w, "FAIL %s [%s x %s]: %s\n", o.Loop, o.Backend, o.Machine, msg)
+		}
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func cmdGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msched gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "generator master seed")
+	n := fs.Int("n", 3, "number of loops to print")
+	corner := fs.String("corner", "", "single knob corner to use (default: cycle all)")
+	asJSON := fs.Bool("json", false, "emit loops as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var loops []*ir.Loop
+	if *corner != "" {
+		var k gen.Knobs
+		found := false
+		for _, c := range gen.Corners() {
+			if c.Tag == *corner {
+				k, found = c, true
+				break
+			}
+		}
+		if !found {
+			tags := []string{}
+			for _, c := range gen.Corners() {
+				tags = append(tags, c.Tag)
+			}
+			fmt.Fprintf(stderr, "msched gen: unknown corner %q (have: %s)\n", *corner, strings.Join(tags, ", "))
+			return 2
+		}
+		loops = gen.CornerCorpus(*seed, *n, k)
+	} else {
+		loops = gen.Corpus(*seed, *n)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(loops, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "msched gen:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+	for _, l := range loops {
+		fmt.Fprintf(stdout, "loop %s (%d instrs):\n", l.Name, l.NumInstrs())
+		for _, in := range l.Instrs {
+			fmt.Fprintf(stdout, "  %2d: %s\n", in.ID, in.String())
+		}
+	}
+	return 0
+}
+
+// gateRows recomputes the baseline-gated quality rows: the hand-written
+// example corpus plus a pinned generated population, across every
+// registered backend and every canned machine, untimed — fully
+// deterministic in (seed, n). failures counts compilations that errored
+// out; the gate corpus must compile clean, so callers treat a nonzero
+// count as a failure in its own right rather than letting a shrunken
+// population be baselined away (or misread as "baseline stale").
+func gateRows(seed uint64, n, workers int, timeout time.Duration, stderr io.Writer) (rows *report.File, failures int) {
+	machines := []*machine.Machine{machine.Unified(), machine.Paper4Cluster(), machine.Tight()}
+	opts := driver.Options{Workers: workers, Timeout: timeout}
+	rows = &report.File{}
+	for _, spec := range []driver.Spec{
+		{Corpus: "examples", Loops: ir.ExampleLoops(), Backends: core.Backends(), Machines: machines},
+		{Corpus: fmt.Sprintf("gen:seed=%d,n=%d", seed, n), Loops: gen.Corpus(seed, n), Backends: core.Backends(), Machines: machines},
+	} {
+		rep := driver.Run(spec, opts)
+		failures += rep.Failures
+		for _, o := range rep.Outcomes {
+			if o.Err != "" {
+				fmt.Fprintf(stderr, "msched compare: %s [%s x %s]: %s\n", o.Loop, o.Backend, o.Machine, o.Err)
+			}
+		}
+		rows.Rows = append(rows.Rows, rep.Rows()...)
+	}
+	return rows, failures
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("msched compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline rows to gate against")
+	update := fs.Bool("update-baseline", false, "rewrite the baseline from current results instead of gating")
+	seed := fs.Uint64("seed", 1, "generated-population seed (must match the baseline's)")
+	n := fs.Int("n", 120, "generated-population size (must match the baseline's)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	current, failed := gateRows(*seed, *n, *workers, *timeout, stderr)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "msched compare: %d gate-corpus compilation(s) failed — fix the backends before gating or refreshing the baseline\n", failed)
+		return 1
+	}
+	if *update {
+		if err := current.WriteFile(*baseline); err != nil {
+			fmt.Fprintln(stderr, "msched compare:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baseline %s updated: %d rows\n", *baseline, len(current.Rows))
+		return 0
+	}
+	base, err := report.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "msched compare: %v\n(run 'msched compare -update-baseline' to create it)\n", err)
+		return 1
+	}
+	regs, unbaselined := report.Compare(base, current)
+	for _, u := range unbaselined {
+		fmt.Fprintf(stdout, "note: %s has no baseline row yet (refresh with -update-baseline)\n", u)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(stderr, "REGRESSION:", r)
+		}
+		fmt.Fprintf(stderr, "msched compare: %d quality regression(s) vs %s\n", len(regs), *baseline)
+		return 1
+	}
+	fmt.Fprintf(stdout, "quality gate clean: %d rows no worse than %s\n", len(base.Rows), *baseline)
+	return 0
+}

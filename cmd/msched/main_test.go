@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/internal/report"
+)
+
+// capture runs Main with buffered stdout/stderr and returns (exit code,
+// stdout, stderr).
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := Main(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := capture(t); code != 2 {
+		t.Error("no args must exit 2")
+	}
+	if code, _, _ := capture(t, "bogus"); code != 2 {
+		t.Error("unknown subcommand must exit 2")
+	}
+	if code, out, _ := capture(t, "help"); code != 0 || !strings.Contains(out, "compare") {
+		t.Error("help must print usage and exit 0")
+	}
+	if code, _, errOut := capture(t, "run", "-machines", "nope"); code != 2 || !strings.Contains(errOut, "unknown machine") {
+		t.Error("unknown machine must exit 2")
+	}
+	if code, _, errOut := capture(t, "run", "-backends", "nope"); code != 2 || !strings.Contains(errOut, "unknown backend") {
+		t.Error("unknown backend must exit 2")
+	}
+}
+
+// TestRunDeterministicReport is the in-process version of the CI
+// determinism smoke: two untimed runs write byte-identical reports and
+// CSVs.
+func TestRunDeterministicReport(t *testing.T) {
+	dir := t.TempDir()
+	r1, r2 := filepath.Join(dir, "r1.json"), filepath.Join(dir, "r2.json")
+	c1, c2 := filepath.Join(dir, "r1.csv"), filepath.Join(dir, "r2.csv")
+	if code, _, errOut := capture(t, "run", "-seed", "9", "-n", "25", "-strict", "-o", r1, "-csv", c1); code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	if code, _, errOut := capture(t, "run", "-seed", "9", "-n", "25", "-strict", "-o", r2, "-csv", c2); code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	for _, pair := range [][2]string{{r1, r2}, {c1, c2}} {
+		a, _ := os.ReadFile(pair[0])
+		b, _ := os.ReadFile(pair[1])
+		if len(a) == 0 || !bytes.Equal(a, b) {
+			t.Fatalf("%s and %s differ (or are empty)", pair[0], pair[1])
+		}
+	}
+	var rep struct {
+		Jobs     int `json:"jobs"`
+		Failures int `json:"failures"`
+	}
+	data, _ := os.ReadFile(r1)
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 25*4 || rep.Failures != 0 {
+		t.Fatalf("want 100 clean jobs, got %+v", rep)
+	}
+}
+
+func TestGenPrintsLoops(t *testing.T) {
+	code, out, _ := capture(t, "gen", "-seed", "3", "-n", "2")
+	if code != 0 || !strings.Contains(out, "loop g0000-balanced") || !strings.Contains(out, "br") {
+		t.Fatalf("gen output unexpected (code %d):\n%s", code, out)
+	}
+	code, out, _ = capture(t, "gen", "-seed", "3", "-n", "1", "-corner", "pressure", "-json")
+	if code != 0 || !strings.Contains(out, "\"Name\": \"g0000-pressure\"") {
+		t.Fatalf("gen -json output unexpected (code %d):\n%s", code, out)
+	}
+	if code, _, errOut := capture(t, "gen", "-corner", "nope"); code != 2 || !strings.Contains(errOut, "unknown corner") {
+		t.Error("unknown corner must exit 2")
+	}
+}
+
+// TestCompareGateEndToEnd drives the full baseline workflow: refresh the
+// baseline, gate clean against it, then inject an II regression into the
+// baseline (making the current results look worse) and require the gate
+// to fail — the acceptance criterion for the CI quality gate.
+func TestCompareGateEndToEnd(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	small := []string{"-n", "10", "-baseline", base}
+
+	if code, _, errOut := capture(t, append([]string{"compare"}, small...)...); code != 1 || !strings.Contains(errOut, "update-baseline") {
+		t.Fatalf("missing baseline must fail with a refresh hint, got %d: %s", code, errOut)
+	}
+	if code, out, errOut := capture(t, append([]string{"compare", "-update-baseline"}, small...)...); code != 0 {
+		t.Fatalf("update-baseline failed: %s%s", out, errOut)
+	}
+	if code, out, errOut := capture(t, append([]string{"compare"}, small...)...); code != 0 || !strings.Contains(out, "quality gate clean") {
+		t.Fatalf("gate against fresh baseline must pass, got %d: %s%s", code, out, errOut)
+	}
+
+	// Inject the regression: tighten one baseline row's SumII below what
+	// the schedulers actually achieve, as if a previous commit had been
+	// better. The gate must catch the delta and name the row.
+	f, err := report.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Rows[0].SumII--
+	injected := f.Rows[0]
+	if err := f.WriteFile(base); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := capture(t, append([]string{"compare"}, small...)...)
+	if code != 1 || !strings.Contains(errOut, "sum_ii regressed") || !strings.Contains(errOut, injected.Backend) {
+		t.Fatalf("injected II regression not caught (code %d):\n%s", code, errOut)
+	}
+}

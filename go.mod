@@ -1,3 +1,3 @@
 module github.com/paper-repo-growth/mirs
 
-go 1.24
+go 1.23

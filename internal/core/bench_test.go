@@ -1,27 +1,14 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 	"testing"
 
+	"github.com/paper-repo-growth/mirs/internal/report"
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
-
-// benchResult is one backend × machine row of the machine-readable
-// benchmark output: speed (ns per full-corpus compile) and the three
-// summed quality metrics (lower is better on every axis).
-type benchResult struct {
-	Backend    string  `json:"backend"`
-	Machine    string  `json:"machine"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	SumII      int     `json:"sum_ii"`
-	SumMaxLive int     `json:"sum_max_live"`
-	SumUnroll  int     `json:"sum_unroll"`
-}
 
 // benchResultsPath is where BenchmarkCompile drops its JSON (relative
 // to the package directory the benchmark runs in); override with the
@@ -39,7 +26,12 @@ func benchResultsPath() string {
 // example corpus. Besides ns/op it reports the summed II, MaxLive and
 // kernel unroll factor across the corpus, so CI logs accumulate a
 // quality trend alongside the usual speed numbers, and it writes the
-// same numbers to BENCH_results.json for machine consumption. Run as
+// same numbers to BENCH_results.json for machine consumption — through
+// internal/report, whose emit order is canonical (sorted rows, never
+// map iteration), so artifacts from different runs diff meaningfully.
+// The gating twin of this file is BENCH_baseline.json at the repo root,
+// compared by `msched compare` (which recomputes quality in-process);
+// this benchmark's artifact adds the timing dimension. Run as
 //
 //	go test -run '^$' -bench BenchmarkCompile ./internal/core/
 func BenchmarkCompile(b *testing.B) {
@@ -50,7 +42,11 @@ func BenchmarkCompile(b *testing.B) {
 		{"Unified", machine.Unified()},
 		{"Paper4Cluster", machine.Paper4Cluster()},
 	}
-	results := map[string]benchResult{}
+	// Keyed: later (larger-N) runs of the same sub-benchmark overwrite
+	// earlier ones, keeping the most settled timing. Map order cannot
+	// leak into the artifact — report.File emits in canonical sorted
+	// order regardless of insertion.
+	rows := map[string]report.Row{}
 	for _, be := range Backends() {
 		for _, mc := range machines {
 			key := fmt.Sprintf("%sx%s", be.Name(), mc.name)
@@ -73,12 +69,11 @@ func BenchmarkCompile(b *testing.B) {
 				b.ReportMetric(float64(sumII), "II")
 				b.ReportMetric(float64(sumMaxLive), "MaxLive")
 				b.ReportMetric(float64(sumUnroll), "unroll")
-				// Later (larger-N) runs of the same sub-benchmark
-				// overwrite earlier ones, so the file keeps the most
-				// settled timing.
-				results[key] = benchResult{
+				rows[key] = report.Row{
 					Backend:    be.Name(),
-					Machine:    mc.name,
+					Machine:    mc.m.Name,
+					Corpus:     "examples",
+					Loops:      len(loops),
 					NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 					SumII:      sumII,
 					SumMaxLive: sumMaxLive,
@@ -87,28 +82,14 @@ func BenchmarkCompile(b *testing.B) {
 			})
 		}
 	}
-	writeBenchResults(b, results)
-}
-
-func writeBenchResults(b *testing.B, results map[string]benchResult) {
-	keys := make([]string, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
+	var results report.File
+	for _, r := range rows {
+		results.Rows = append(results.Rows, r)
 	}
-	sort.Strings(keys)
-	ordered := make([]benchResult, 0, len(keys))
-	for _, k := range keys {
-		ordered = append(ordered, results[k])
-	}
-	data, err := json.MarshalIndent(struct {
-		Results []benchResult `json:"results"`
-	}{ordered}, "", "  ")
-	if err != nil {
-		b.Fatalf("marshal bench results: %v", err)
-	}
-	if err := os.WriteFile(benchResultsPath(), append(data, '\n'), 0o644); err != nil {
-		// Benchmarks may run in read-only checkouts; the console
-		// metrics above still carry the numbers.
+	// WriteFile emits rows in canonical sorted order; benchmarks may run
+	// in read-only checkouts, where the console metrics above still
+	// carry the numbers.
+	if err := results.WriteFile(benchResultsPath()); err != nil {
 		b.Logf("bench results not written: %v", err)
 	}
 }

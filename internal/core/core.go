@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
@@ -76,6 +77,26 @@ func Compile(l *ir.Loop, m *machine.Machine) (*Result, error) {
 // whole example corpus.
 func Backends() []sched.Scheduler {
 	return []sched.Scheduler{sched.ListScheduler{}, mirs.New()}
+}
+
+// CompileSafe is CompileWith with panic isolation: a panicking backend
+// (or analysis layer) is converted into an ordinary per-loop error
+// instead of taking down the caller. This is the non-fatal error path
+// batch drivers compile untrusted or generated populations through —
+// one pathological loop must cost one result, not the whole sweep. The
+// error carries the recovered value and a trimmed stack so shaken-out
+// bugs stay diagnosable from a batch report.
+func CompileSafe(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			if len(stack) > 2048 {
+				stack = stack[:2048]
+			}
+			r, err = nil, fmt.Errorf("core: panic compiling loop %q: %v\n%s", l.Name, p, stack)
+		}
+	}()
+	return CompileWith(s, l, m)
 }
 
 // CompileWith is Compile with an explicit scheduler backend: it builds

@@ -20,6 +20,15 @@
 // instructions with memory dependence edges (ir.MaterializeSpill), and
 // schedules the spill code inside the ongoing schedule. Only when the
 // budget is exhausted does II escalate.
+//
+// Some loops cannot be made to fit at any II: once every long lifetime
+// has been spilled, what remains is short-lifetime congestion from the
+// packing itself, which neither spilling nor II escalation relieves
+// (larger IIs re-pack the same dense cycles). For those the scheduler
+// degrades gracefully instead of failing: it returns the least
+// overflowing complete schedule it found — still Validate-clean, like
+// the baseline's behaviour on register-starved machines — with the
+// residual overflow reported in Stats["pressure_excess"].
 package mirs
 
 import (
@@ -71,12 +80,28 @@ func New(opts ...Option) *Scheduler {
 // Name returns "mirs".
 func (s *Scheduler) Name() string { return "mirs" }
 
+// stagnationLimit caps the *linear* II escalation once complete
+// schedules keep coming back with the same residual overflow: after
+// this many consecutive candidates without improvement the search
+// switches to geometric steps. Pressure that II escalation can fix
+// usually improves within a few steps, but a single long lifetime can
+// hold its excess constant across a long II plateau (ceil(L/II) copies
+// is flat between L/k and L/(k-1)) before fitting at a much larger II —
+// so the sweep must still reach large IIs, just not one cycle at a
+// time. Geometric stepping keeps pathological never-fitting loops to
+// O(log maxII) extra attempts instead of sweeping hundreds of IIs.
+const stagnationLimit = 10
+
 // Schedule implements sched.Scheduler. The returned schedule's Loop and
 // Graph are the (possibly spill-augmented) versions the placements refer
 // to; Stats reports spill_stores, spill_loads, ejections, and the
 // II increase attributable to register pressure (spill_ii_increase: final
 // II minus the smallest II at which a complete placement existed before
-// pressure was considered).
+// pressure was considered). When no II fits the register files (see the
+// package comment) the least overflowing complete schedule is returned
+// with its residual overflow in Stats["pressure_excess"]; the error path
+// is reserved for invalid input and loops with no complete schedule at
+// all.
 func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 	if req == nil || req.Loop == nil || req.Machine == nil {
 		return nil, fmt.Errorf("mirs: request missing loop or machine")
@@ -121,34 +146,64 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 	}
 
 	firstComplete := 0
-	for ii := mii.MII; ii <= maxII; ii++ {
-		out, completed, err := s.tryII(req.Loop, g, req.Machine, ii, maxSpills)
+	var best *sched.Schedule
+	bestExcess, bestII, stagnant := -1, 0, 0
+	for ii := mii.MII; ii <= maxII; {
+		out, completed, excess, err := s.tryII(req.Loop, g, req.Machine, ii, maxSpills)
 		if err != nil {
 			return nil, err
 		}
 		if completed && firstComplete == 0 {
 			firstComplete = ii
 		}
-		if out != nil {
+		if out != nil && excess == 0 {
 			out.AddStat("ii_over_mii", ii-mii.MII)
-			if firstComplete > 0 {
-				out.AddStat("spill_ii_increase", ii-firstComplete)
-			}
+			out.AddStat("spill_ii_increase", ii-firstComplete)
 			return out, nil
 		}
+		if out != nil {
+			// Complete but overflowing: remember the least bad schedule.
+			if bestExcess == -1 || excess < bestExcess {
+				best, bestExcess, bestII, stagnant = out, excess, ii, 0
+			} else {
+				stagnant++
+			}
+		}
+		if stagnant >= stagnationLimit {
+			// Overflow plateau: probe geometrically, but never skip the
+			// horizon itself — maxII is where lifetimes span the fewest
+			// copies, so it is always worth one attempt before settling
+			// for an overflowing schedule.
+			next := ii + 1 + ii/2
+			if next > maxII && ii < maxII {
+				next = maxII
+			}
+			ii = next
+		} else {
+			ii++
+		}
+	}
+	if best != nil {
+		best.AddStat("ii_over_mii", bestII-mii.MII)
+		best.AddStat("spill_ii_increase", bestII-firstComplete)
+		best.AddStat("pressure_excess", bestExcess)
+		return best, nil
 	}
 	return nil, fmt.Errorf("mirs: no valid schedule for loop %q on %q within II <= %d",
 		req.Loop.Name, req.Machine.Name, maxII)
 }
 
-// tryII attempts one candidate II. It returns the schedule on success;
-// completed reports whether a full placement (pressure aside) was ever
-// reached at this II, which Schedule uses to attribute II increases to
-// spilling. A nil schedule with nil error means "escalate II".
-func (s *Scheduler) tryII(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxSpills int) (*sched.Schedule, bool, error) {
+// tryII attempts one candidate II. On a complete placement it returns
+// the (Validate-clean) schedule with its residual register overflow —
+// zero when every file fits, the summed per-cluster excess when the
+// spill machinery ran out of victims or budget first. completed reports
+// whether a full placement (pressure aside) was ever reached at this II,
+// which Schedule uses to attribute II increases to spilling. A nil
+// schedule with nil error means "escalate II".
+func (s *Scheduler) tryII(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxSpills int) (*sched.Schedule, bool, int, error) {
 	st, err := newState(loop, g, m, ii, s.opts.MaxRetries, maxSpills)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	completed := false
 	for {
@@ -158,25 +213,32 @@ func (s *Scheduler) tryII(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, ma
 			st.compact()
 			out := st.schedule(s.Name())
 			if err := out.Validate(); err != nil {
-				return nil, completed, fmt.Errorf("mirs: internal: schedule failed validation at II=%d: %w", ii, err)
+				return nil, completed, 0, fmt.Errorf("mirs: internal: schedule failed validation at II=%d: %w", ii, err)
 			}
 			press, err := regpress.Analyze(out)
 			if err != nil {
-				return nil, completed, fmt.Errorf("mirs: internal: %w", err)
+				return nil, completed, 0, fmt.Errorf("mirs: internal: %w", err)
 			}
-			if press.Fits() {
-				return out, completed, nil
+			excess := 0
+			for ci, ml := range press.MaxLivePerCluster {
+				if over := ml - m.Clusters[ci].RegFile.Size; over > 0 {
+					excess += over
+				}
+			}
+			if excess == 0 {
+				return out, completed, 0, nil
 			}
 			// The authoritative analysis says some register file
 			// overflows: spill and keep scheduling (the spill code is now
-			// unplaced), or escalate II when out of victims or budget.
+			// unplaced). When out of victims or budget, hand the complete
+			// overflowing schedule back and let the II search decide.
 			if !st.relieveWorst(press) {
-				return nil, completed, nil
+				return out, completed, excess, nil
 			}
 			continue
 		}
 		if !st.place(u) {
-			return nil, completed, nil
+			return nil, completed, 0, nil
 		}
 		// Opportunistic relief as pressure builds; the final
 		// regpress.Analyze pass above settles any disagreement.

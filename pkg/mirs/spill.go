@@ -204,6 +204,11 @@ func (st *state) applySpill(id int, reg ir.VReg) bool {
 	st.stats["spill_loads"] += len(sp.ReloadIDs)
 
 	n := sp.Loop.NumInstrs()
+	// The force budget is a per-instruction allowance (MaxRetries × n);
+	// spill code grows n, so it earns budget at the same rate. Without
+	// this, heavy spilling starves the budget that was sized for the
+	// original body and placement dies half-done at every II.
+	st.budget += st.maxRetries * (n - st.loop.NumInstrs())
 	plc := make([]sched.Placement, n)
 	placed := make([]bool, n)
 	noSpill := make([]bool, n)

@@ -32,11 +32,12 @@ type state struct {
 	noSpill []bool
 	// forcedAt[i] is the next cycle a forced placement of i will target,
 	// sliding forward on repeated failures so ejection fights converge.
-	forcedAt []int
-	budget   int // remaining force-placements at this II
-	spills   int
-	maxSpill int
-	stats    map[string]int
+	forcedAt   []int
+	budget     int // remaining force-placements at this II
+	maxRetries int // per-instruction budget rate; spill growth adds at this rate
+	spills     int
+	maxSpill   int
+	stats      map[string]int
 
 	// lview is the life.View of the in-flight partial placement: the
 	// shared lifetime enumeration reads placements through it, so the
@@ -77,24 +78,25 @@ func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, ma
 	}
 	n := loop.NumInstrs()
 	st := &state{
-		m:        m,
-		ii:       ii,
-		loop:     loop,
-		g:        g,
-		mrt:      mrt,
-		track:    track,
-		plc:      make([]sched.Placement, n),
-		placed:   make([]bool, n),
-		height:   height,
-		noSpill:  make([]bool, n),
-		forcedAt: make([]int, n),
-		budget:   maxRetries * n,
-		maxSpill: maxSpills,
-		stats:    map[string]int{"ejections": 0, "spill_stores": 0, "spill_loads": 0},
-		liveIn:   map[liveInKey]int{},
-		charged:  map[defKey][]life.Lifetime{},
-		memLat:   m.Latency(machine.ClassMem),
-		busLat:   m.BusLatency(),
+		m:          m,
+		ii:         ii,
+		loop:       loop,
+		g:          g,
+		mrt:        mrt,
+		track:      track,
+		plc:        make([]sched.Placement, n),
+		placed:     make([]bool, n),
+		height:     height,
+		noSpill:    make([]bool, n),
+		forcedAt:   make([]int, n),
+		budget:     maxRetries * n,
+		maxRetries: maxRetries,
+		maxSpill:   maxSpills,
+		stats:      map[string]int{"ejections": 0, "spill_stores": 0, "spill_loads": 0},
+		liveIn:     map[liveInKey]int{},
+		charged:    map[defKey][]life.Lifetime{},
+		memLat:     m.Latency(machine.ClassMem),
+		busLat:     m.BusLatency(),
 	}
 	st.refreshLifeView()
 	return st, nil

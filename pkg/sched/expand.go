@@ -1,12 +1,27 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/life"
 )
+
+// MaxUnroll bounds the expanded kernel's unroll factor. The lcm of the
+// rotating copy counts grows combinatorially — a loop carrying values
+// across many iterations (deep CarriedUses distances) can demand an
+// astronomically large unroll whose expansion would exhaust memory (and,
+// first, overflow the lcm arithmetic). Expansion is only worth kernel
+// sizes a code generator would actually emit; past this bound Expand
+// fails fast with ErrUnrollBound instead, and batch drivers record the
+// loop as uncompilable-with-MVE rather than hanging a worker on it.
+const MaxUnroll = 4096
+
+// ErrUnrollBound marks the Expand failure for kernels whose unroll
+// factor would exceed MaxUnroll; match it with errors.Is.
+var ErrUnrollBound = errors.New("unroll factor exceeds bound")
 
 // This file implements modulo variable expansion (MVE): turning a valid
 // modulo schedule into an emittable kernel for a machine without
@@ -160,6 +175,9 @@ func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
 	unroll := 1
 	for _, c := range copies {
 		unroll = lcm(unroll, c)
+		if unroll > MaxUnroll {
+			return nil, fmt.Errorf("sched: expand: kernel unroll (lcm of rotating copy counts, >%d) %w", MaxUnroll, ErrUnrollBound)
+		}
 	}
 
 	reach, _ := reachingDefs(s)

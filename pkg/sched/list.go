@@ -5,13 +5,15 @@ import (
 	"sort"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
 )
 
 // ListScheduler is the reference baseline backend: a non-backtracking
 // modulo list scheduler. It starts at II = MII, places instructions in
 // intra-iteration topological order (highest dependence height first),
 // greedily picking the cluster and earliest cycle with a free compatible
-// slot in the modulo reservation table, and bumps II and retries whenever
+// slot in the modulo reservation table — clusters tying on cycle compete
+// on fewer implied bus transfers — and bumps II and retries whenever
 // placement fails or a loop-carried dependence from a later-placed
 // instruction ends up violated. It makes no attempt at register-pressure
 // control — it is the baseline the paper's MIRS (with integrated
@@ -57,7 +59,7 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 		}
 	}
 	for ii := mii.MII; ii <= maxII; ii++ {
-		s, ok := ls.tryII(req, g, order, ii)
+		s, ok := ls.tryII(req, g, order, ii, -1)
 		if !ok {
 			continue
 		}
@@ -66,8 +68,62 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 			return s, nil
 		}
 	}
+	// Greedy cross-cluster placement can wedge itself on bus bandwidth
+	// at *every* II: a consumer's transfer must ride a bus at the cycle
+	// its already-placed producer's value leaves, and once ASAP packing
+	// has saturated that cycle no cluster choice helps — escalating II
+	// repacks the same early cycles and saturates them again. Fall back
+	// to a single cluster that supports every class the loop uses: with
+	// no cross-cluster dependences the bus constraint is vacuous, so a
+	// serial schedule always exists at some II within the horizon.
+	if ci := soleClusterFor(req); ci >= 0 {
+		for ii := mii.MII; ii <= maxII; ii++ {
+			s, ok := ls.tryII(req, g, order, ii, ci)
+			if !ok {
+				continue
+			}
+			if err := s.Validate(); err == nil {
+				s.AddStat("ii_over_mii", ii-mii.MII)
+				s.AddStat("single_cluster_fallback", 1)
+				return s, nil
+			}
+		}
+	}
 	return nil, fmt.Errorf("sched: list: no valid schedule for loop %q on %q within II <= %d",
 		req.Loop.Name, req.Machine.Name, maxII)
+}
+
+// soleClusterFor returns the index of the cluster with the most
+// functional units among those supporting every op class the loop uses,
+// or -1 when no single cluster covers the loop — then the single-cluster
+// fallback cannot apply.
+func soleClusterFor(req *Request) int {
+	classes := map[machine.OpClass]bool{}
+	for _, in := range req.Loop.Instrs {
+		classes[in.Class] = true
+	}
+	best, bestUnits := -1, 0
+	for ci := range req.Machine.Clusters {
+		cl := &req.Machine.Clusters[ci]
+		covers := true
+		for c := range classes {
+			supported := false
+			for ui := range cl.Units {
+				if cl.Units[ui].Supports(c) {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				covers = false
+				break
+			}
+		}
+		if covers && len(cl.Units) > bestUnits {
+			best, bestUnits = ci, len(cl.Units)
+		}
+	}
+	return best
 }
 
 // placementOrder returns the intra-iteration topological order, with ties
@@ -124,9 +180,11 @@ func placementOrder(g *ir.Graph) ([]int, error) {
 	return final, nil
 }
 
-// tryII attempts one greedy placement pass at a fixed II. ok=false means
-// some instruction found no free slot within its II-cycle window.
-func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii int) (*Schedule, bool) {
+// tryII attempts one greedy placement pass at a fixed II. A non-negative
+// onlyCluster restricts every placement to that cluster (the bus-free
+// fallback mode). ok=false means some instruction found no free slot
+// within its II-cycle window.
+func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCluster int) (*Schedule, bool) {
 	m := req.Machine
 	mrt, err := NewMRT(m, ii)
 	if err != nil {
@@ -137,9 +195,12 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii int) (*
 
 	for _, id := range order {
 		in := req.Loop.Instrs[id]
-		type cand struct{ cycle, cluster, slot int }
+		type cand struct{ cycle, cluster, slot, ntr int }
 		best := cand{cycle: -1}
 		for ci := 0; ci < m.NumClusters(); ci++ {
+			if onlyCluster >= 0 && ci != onlyCluster {
+				continue
+			}
 			// Earliest start on this cluster given already-placed
 			// predecessors (cross-cluster true deps pay the bus).
 			est := EarliestStart(g, m, plc, placed, ii, id, ci)
@@ -160,8 +221,11 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii int) (*
 				for _, tr := range trs {
 					mrt.RemoveTransfer(tr.From, tr.Reg, tr.Dest)
 				}
-				if best.cycle == -1 || t < best.cycle {
-					best = cand{cycle: t, cluster: ci, slot: slot}
+				// Earliest cycle wins; ties go to the cluster needing
+				// fewer bus transfers, which both saves bandwidth for
+				// later placements and keeps dependence chains local.
+				if best.cycle == -1 || t < best.cycle || (t == best.cycle && len(trs) < best.ntr) {
+					best = cand{cycle: t, cluster: ci, slot: slot, ntr: len(trs)}
 				}
 				break
 			}
