@@ -1,0 +1,50 @@
+# Convenience targets for the workflows README.md documents. Everything
+# here is a thin wrapper over go / msched invocations, so CI and humans
+# run the identical commands.
+
+.PHONY: all build test race bench bench-placement profile compare baseline lint fmt
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full-pipeline benchmark (graph build + schedule + analysis + MVE) with
+# allocation counts; writes BENCH_results.json next to the package.
+bench:
+	go test -run '^$$' -bench BenchmarkCompile -benchmem ./internal/core/
+
+# Placement-path-only benchmark: graph and MII prebuilt, so allocs/op
+# isolates the scheduler hot path the zero-allocation claim covers.
+bench-placement:
+	go test -run '^$$' -bench BenchmarkPlacement -benchmem ./internal/core/
+
+# Capture CPU + allocation pprof profiles from the benchmarks; inspect
+# with `go tool pprof bench_cpu.pprof` (see README "Performance &
+# profiling").
+profile:
+	go test -run '^$$' -bench 'BenchmarkCompile|BenchmarkPlacement' -benchmem \
+		-cpuprofile bench_cpu.pprof -memprofile bench_mem.pprof ./internal/core/
+	@echo "profiles: bench_cpu.pprof bench_mem.pprof (go tool pprof <file>)"
+
+# Gate current quality (ΣII, ΣMaxLive) and throughput (allocs/op)
+# against the committed baseline — the same command CI runs.
+compare:
+	go run ./cmd/msched compare
+
+# Refresh BENCH_baseline.json after an intentional quality or perf
+# change; commit the result.
+baseline:
+	go run ./cmd/msched compare -update-baseline
+
+lint:
+	golangci-lint run
+
+fmt:
+	gofmt -l -w .

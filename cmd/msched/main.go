@@ -20,8 +20,13 @@
 // `compare` recomputes the gated quality rows (examples corpus + a
 // pinned generated population, every backend × gate machine) and diffs
 // them against the committed baseline: any ΣII or ΣMaxLive regression
-// fails the gate (exit 1). -update-baseline rewrites the baseline file
-// instead — the one-command local refresh after an intentional change.
+// fails the gate (exit 1). It also benchmarks the "perf:examples" rows
+// — allocations per full-corpus compile, gated with headroom
+// (report.AllocHeadroom), plus informational loops/sec — so a hot-path
+// allocation regression fails CI the same way a quality regression
+// does; -no-perf skips that measurement. -update-baseline rewrites the
+// baseline file instead — the one-command local refresh after an
+// intentional change.
 package main
 
 import (
@@ -317,6 +322,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 120, "generated-population size (must match the baseline's)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
+	noPerf := fs.Bool("no-perf", false, "skip the benchmarked perf:examples rows (allocs/op gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -324,6 +330,20 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	if failed > 0 {
 		fmt.Fprintf(stderr, "msched compare: %d gate-corpus compilation(s) failed — fix the backends before gating or refreshing the baseline\n", failed)
 		return 1
+	}
+	if *noPerf && *update {
+		// Refreshing the baseline without perf rows would silently strip
+		// them and disable the allocs/op gate for every later run.
+		fmt.Fprintln(stderr, "msched compare: -no-perf cannot be combined with -update-baseline (it would drop the perf rows from the baseline)")
+		return 2
+	}
+	if !*noPerf {
+		pf, err := perfRows()
+		if err != nil {
+			fmt.Fprintf(stderr, "msched compare: perf measurement: %v\n", err)
+			return 1
+		}
+		current.Rows = append(current.Rows, pf.Rows...)
 	}
 	if *update {
 		if err := current.WriteFile(*baseline); err != nil {
@@ -337,6 +357,17 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "msched compare: %v\n(run 'msched compare -update-baseline' to create it)\n", err)
 		return 1
+	}
+	if *noPerf {
+		// The perf rows were not measured this run; drop them from the
+		// baseline too so they do not read as missing regressions.
+		kept := base.Rows[:0]
+		for _, r := range base.Rows {
+			if !strings.HasPrefix(r.Corpus, "perf:") {
+				kept = append(kept, r)
+			}
+		}
+		base.Rows = kept
 	}
 	regs, unbaselined := report.Compare(base, current)
 	for _, u := range unbaselined {

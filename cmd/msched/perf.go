@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/internal/core"
+	"github.com/paper-repo-growth/mirs/internal/report"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// perfRows measures the throughput rows of the benchmark-regression
+// gate: for each backend × gate machine, the example corpus is compiled
+// under testing.Benchmark and the row records allocations per
+// full-corpus compile (the gated metric — near-deterministic for a
+// fixed toolchain, see report.AllocHeadroom) alongside informational
+// ns/op and loops/sec. The corpus label "perf:examples" keeps these
+// rows distinct from the driver-computed quality rows over the same
+// loops; quality sums are included too, so a perf row gates exactly
+// like any other row plus the allocation check.
+func perfRows() (*report.File, error) {
+	machines := []*machine.Machine{machine.Unified(), machine.Paper4Cluster()}
+	loops := ir.ExampleLoops()
+	f := &report.File{}
+	for _, be := range core.Backends() {
+		for _, m := range machines {
+			var sumII, sumMaxLive, sumUnroll int
+			var firstErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sumII, sumMaxLive, sumUnroll = 0, 0, 0
+					for _, l := range loops {
+						r, err := core.CompileWith(be, l, m)
+						if err != nil {
+							if firstErr == nil {
+								firstErr = fmt.Errorf("%s on %s: %s: %w", be.Name(), m.Name, l.Name, err)
+							}
+							return
+						}
+						sumII += r.Schedule.II
+						sumMaxLive += r.Pressure.MaxLive
+						sumUnroll += r.Expanded.Unroll
+					}
+				}
+			})
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			nsPerOp := float64(res.NsPerOp())
+			loopsPerSec := 0.0
+			if nsPerOp > 0 {
+				loopsPerSec = float64(len(loops)) / (nsPerOp / 1e9)
+			}
+			f.Rows = append(f.Rows, report.Row{
+				Backend:     be.Name(),
+				Machine:     m.Name,
+				Corpus:      "perf:examples",
+				Loops:       len(loops),
+				SumII:       sumII,
+				SumMaxLive:  sumMaxLive,
+				SumUnroll:   sumUnroll,
+				NsPerOp:     nsPerOp,
+				AllocsPerOp: res.AllocsPerOp(),
+				LoopsPerSec: loopsPerSec,
+			})
+		}
+	}
+	return f, nil
+}

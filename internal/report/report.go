@@ -26,8 +26,9 @@ import (
 // summed quality metrics (lower is better on every axis) and an
 // informational timing figure.
 type Row struct {
-	// Backend and Machine name the scheduler and target configuration.
+	// Backend names the scheduler that produced the row.
 	Backend string `json:"backend"`
+	// Machine names the target configuration.
 	Machine string `json:"machine"`
 	// Corpus names the loop population the sums run over ("examples",
 	// "gen:seed=1,n=200", ...). Rows from different corpora are never
@@ -36,23 +37,46 @@ type Row struct {
 	// Loops is the population size; a baseline row only gates against a
 	// current row of the same size.
 	Loops int `json:"loops"`
-	// SumII, SumMaxLive and SumUnroll are the gated quality metrics:
-	// initiation intervals, steady-state register pressure and kernel
-	// unroll factors summed over the corpus.
-	SumII      int `json:"sum_ii"`
+	// SumII is the summed initiation interval over the corpus (gated).
+	SumII int `json:"sum_ii"`
+	// SumMaxLive is the summed steady-state register pressure (gated).
 	SumMaxLive int `json:"sum_max_live"`
-	SumUnroll  int `json:"sum_unroll"`
+	// SumUnroll is the summed kernel unroll factor (informational —
+	// unroll trades against II by design).
+	SumUnroll int `json:"sum_unroll"`
 	// NsPerOp is wall-clock nanoseconds per full-corpus compile.
 	// Informational only: Compare ignores it and deterministic emitters
 	// leave it zero.
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// AllocsPerOp is heap allocations per full-corpus compile — the
+	// gated throughput metric. Unlike wall clock it is near-deterministic
+	// for a fixed toolchain, so Compare fails a row whose current value
+	// exceeds the baseline by more than AllocHeadroom (the slack absorbs
+	// Go-version and map-growth jitter). Zero means "not measured" and is
+	// never gated.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// LoopsPerSec is full compilations per second for the row's corpus.
+	// Informational only, like NsPerOp: it records the throughput of the
+	// machine that refreshed the baseline as a reference point, and
+	// Compare never reads it.
+	LoopsPerSec float64 `json:"loops_per_sec,omitempty"`
 }
+
+// AllocHeadroom is the fractional slack Compare allows on AllocsPerOp
+// before calling a row a regression: current > baseline*(1+AllocHeadroom)
+// fails. Allocation counts are deterministic for one binary but drift a
+// few percent across Go releases; a quarter of headroom keeps the gate
+// insensitive to toolchain bumps while still catching a hot path that
+// regressed to per-probe allocation (those regress by integer factors,
+// not percents).
+const AllocHeadroom = 0.25
 
 // Key is the row's sort/merge identity.
 func (r Row) Key() string { return r.Corpus + "|" + r.Backend + "|" + r.Machine }
 
 // File is the artifact root: a set of rows.
 type File struct {
+	// Rows holds the artifact's rows; emit paths sort them canonically.
 	Rows []Row `json:"results"`
 }
 
@@ -83,12 +107,14 @@ func (f *File) CSV() string {
 	f.Sort()
 	var b strings.Builder
 	w := csv.NewWriter(&b)
-	_ = w.Write([]string{"corpus", "backend", "machine", "loops", "sum_ii", "sum_max_live", "sum_unroll", "ns_per_op"})
+	_ = w.Write([]string{"corpus", "backend", "machine", "loops", "sum_ii", "sum_max_live", "sum_unroll", "ns_per_op", "allocs_per_op", "loops_per_sec"})
 	for _, r := range f.Rows {
 		_ = w.Write([]string{
 			r.Corpus, r.Backend, r.Machine,
 			strconv.Itoa(r.Loops), strconv.Itoa(r.SumII), strconv.Itoa(r.SumMaxLive), strconv.Itoa(r.SumUnroll),
 			strconv.FormatFloat(r.NsPerOp, 'f', 0, 64),
+			strconv.FormatInt(r.AllocsPerOp, 10),
+			strconv.FormatFloat(r.LoopsPerSec, 'f', 0, 64),
 		})
 	}
 	w.Flush()
@@ -125,7 +151,8 @@ func ReadFile(path string) (*File, error) {
 type Regression struct {
 	// Row keys the offending backend × machine × corpus combination.
 	Row string
-	// Metric is "sum_ii", "sum_max_live", "missing" or "population".
+	// Metric is "sum_ii", "sum_max_live", "allocs_per_op", "missing" or
+	// "population".
 	Metric string
 	// Baseline and Current are the compared values (zero for structural
 	// violations).
@@ -145,7 +172,9 @@ func (r Regression) String() string {
 
 // Compare gates current against baseline: for every baseline row the
 // current results must contain a same-key row over the same population
-// whose SumII and SumMaxLive are no worse. NsPerOp and SumUnroll are
+// whose SumII and SumMaxLive are no worse, and — when the baseline row
+// carries a nonzero AllocsPerOp — whose allocations per op stay within
+// AllocHeadroom of it. NsPerOp, LoopsPerSec and SumUnroll are
 // informational (timing is noisy; unroll trades against II by design).
 // Extra current rows — new backends, machines or corpora not yet in the
 // baseline — are reported via the second return so callers can warn
@@ -172,6 +201,12 @@ func Compare(baseline, current *File) (regs []Regression, unbaselined []string) 
 		}
 		if c.SumMaxLive > b.SumMaxLive {
 			regs = append(regs, Regression{Row: b.Key(), Metric: "sum_max_live", Baseline: b.SumMaxLive, Current: c.SumMaxLive})
+		}
+		if b.AllocsPerOp > 0 {
+			limit := b.AllocsPerOp + int64(float64(b.AllocsPerOp)*AllocHeadroom)
+			if c.AllocsPerOp > limit {
+				regs = append(regs, Regression{Row: b.Key(), Metric: "allocs_per_op", Baseline: int(b.AllocsPerOp), Current: int(c.AllocsPerOp)})
+			}
 		}
 	}
 	for _, r := range current.Rows {

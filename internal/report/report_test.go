@@ -107,3 +107,44 @@ func TestCompareGates(t *testing.T) {
 		t.Fatalf("extra rows must warn, not gate: %v / %v", regs, unb)
 	}
 }
+
+func TestCompareAllocsGate(t *testing.T) {
+	base := sample()
+	base.Rows[0].AllocsPerOp = 1000
+
+	// Inside the headroom: allocation counts drift a few percent across
+	// toolchains, so up to baseline*(1+AllocHeadroom) passes.
+	within := sample()
+	within.Rows[0].AllocsPerOp = 1250
+	if regs, _ := Compare(base, within); len(regs) != 0 {
+		t.Fatalf("within-headroom allocs must not gate: %v", regs)
+	}
+
+	over := sample()
+	over.Rows[0].AllocsPerOp = 1251
+	regs, _ := Compare(base, over)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("want one allocs_per_op regression, got %v", regs)
+	}
+
+	// A baseline row without a measurement (zero) never gates, whatever
+	// the current value — rows from untimed deterministic sweeps stay
+	// quality-only.
+	unmeasured := sample()
+	unmeasured.Rows[0].AllocsPerOp = 0
+	cur := sample()
+	cur.Rows[0].AllocsPerOp = 1 << 30
+	if regs, _ := Compare(unmeasured, cur); len(regs) != 0 {
+		t.Fatalf("unmeasured baseline must not gate allocs: %v", regs)
+	}
+
+	// LoopsPerSec and NsPerOp are informational: wildly worse values
+	// never gate.
+	slow := sample()
+	slow.Rows[0].AllocsPerOp = 1000
+	slow.Rows[0].NsPerOp = 1e12
+	slow.Rows[0].LoopsPerSec = 0.001
+	if regs, _ := Compare(base, slow); len(regs) != 0 {
+		t.Fatalf("timing fields must not gate: %v", regs)
+	}
+}

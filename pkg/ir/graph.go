@@ -74,6 +74,15 @@ type Graph struct {
 
 	succs [][]int // node -> indices into Edges (outgoing)
 	preds [][]int // node -> indices into Edges (incoming)
+
+	// succPtrs/predPtrs are the prebuilt adjacency views Succs and Preds
+	// return. They are (re)built eagerly — at the end of Build and after
+	// every AddEdge — so the accessors are allocation-free and safe for
+	// concurrent readers of a graph that is no longer being mutated.
+	// Slices share one backing array per direction; pointers go stale if
+	// Edges reallocates, which is why mutation rebuilds them immediately.
+	succPtrs [][]*Edge
+	predPtrs [][]*Edge
 }
 
 // BuildOptions tunes dependence-edge latencies and distances.
@@ -161,6 +170,16 @@ func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
 
+	// The edge population is known exactly up front — per defined
+	// register, one true and one anti edge per use plus one output edge
+	// per definition site (the chain and the wrap) — so the edge array
+	// and the adjacency index are sized once instead of grown per append.
+	nEdges := 0
+	for _, v := range regs {
+		nEdges += 2*len(uses[v]) + len(defs[v])
+	}
+	g.Edges = make([]Edge, 0, nEdges)
+
 	for _, v := range regs {
 		dv := defs[v]
 		last := dv[len(dv)-1]
@@ -242,6 +261,8 @@ func Build(l *Loop, m *machine.Machine, opts *BuildOptions) (*Graph, error) {
 		}
 		g.addEdge(Edge{From: last, To: dv[0], Kind: DepOutput, Distance: wrapOut, Latency: o.OutputLatency, Reg: v})
 	}
+	g.buildIndex()
+	g.rebuildAdjacency()
 	return g, nil
 }
 
@@ -270,36 +291,114 @@ func (g *Graph) AddEdge(e Edge) error {
 	if e.Distance == 0 && e.From == e.To {
 		return fmt.Errorf("ir: self edge %d->%d with distance 0 is unsatisfiable", e.From, e.To)
 	}
+	idx := len(g.Edges)
+	grew := len(g.Edges) == cap(g.Edges)
 	g.addEdge(e)
+	g.succs[e.From] = append(g.succs[e.From], idx)
+	g.preds[e.To] = append(g.preds[e.To], idx)
+	// Keep the pointer views current. When the edge array grew in place
+	// the existing views stay valid and only the new edge's pointer is
+	// appended (the per-node rows are capacity-capped, so the append
+	// copies the row rather than clobbering a neighbour's); when append
+	// reallocated the array, every cached pointer went stale and the
+	// views are rebuilt — reallocation is geometric, so a batch of
+	// AddEdge calls stays amortised O(1) per edge.
+	if g.succPtrs != nil {
+		if grew {
+			g.rebuildAdjacency()
+		} else {
+			ep := &g.Edges[idx]
+			g.succPtrs[e.From] = append(g.succPtrs[e.From], ep)
+			g.predPtrs[e.To] = append(g.predPtrs[e.To], ep)
+		}
+	}
 	return nil
 }
 
+// addEdge appends the edge only; Build defers the adjacency index to one
+// buildIndex pass over the finished edge array.
 func (g *Graph) addEdge(e Edge) {
-	idx := len(g.Edges)
 	g.Edges = append(g.Edges, e)
-	g.succs[e.From] = append(g.succs[e.From], idx)
-	g.preds[e.To] = append(g.preds[e.To], idx)
+}
+
+// buildIndex constructs the succs/preds index in CSR style: exact
+// per-node counts first, then one shared backing array per direction.
+// Rows are capacity-capped so a later AddEdge append copies the row
+// instead of clobbering a neighbour's.
+func (g *Graph) buildIndex() {
+	n := len(g.succs)
+	sc := make([]int, n)
+	pc := make([]int, n)
+	for i := range g.Edges {
+		sc[g.Edges[i].From]++
+		pc[g.Edges[i].To]++
+	}
+	sback := make([]int, len(g.Edges))
+	pback := make([]int, len(g.Edges))
+	so, po := 0, 0
+	for v := 0; v < n; v++ {
+		g.succs[v] = sback[so : so : so+sc[v]]
+		so += sc[v]
+		g.preds[v] = pback[po : po : po+pc[v]]
+		po += pc[v]
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.succs[e.From] = append(g.succs[e.From], i)
+		g.preds[e.To] = append(g.preds[e.To], i)
+	}
+}
+
+// rebuildAdjacency regenerates the pointer views Succs/Preds hand out.
+// Two allocations total (one backing array per direction), regardless of
+// node count, so even per-AddEdge rebuilds stay cheap on loop-sized
+// graphs.
+func (g *Graph) rebuildAdjacency() {
+	n := len(g.succs)
+	if g.succPtrs == nil {
+		g.succPtrs = make([][]*Edge, n)
+		g.predPtrs = make([][]*Edge, n)
+	}
+	sback := make([]*Edge, len(g.Edges))
+	pback := make([]*Edge, len(g.Edges))
+	si, pi := 0, 0
+	for v := 0; v < n; v++ {
+		s0 := si
+		for _, ei := range g.succs[v] {
+			sback[si] = &g.Edges[ei]
+			si++
+		}
+		g.succPtrs[v] = sback[s0:si:si]
+		p0 := pi
+		for _, ei := range g.preds[v] {
+			pback[pi] = &g.Edges[ei]
+			pi++
+		}
+		g.predPtrs[v] = pback[p0:pi:pi]
+	}
 }
 
 // NumNodes returns the number of instructions in the graph.
 func (g *Graph) NumNodes() int { return len(g.succs) }
 
-// Succs returns the outgoing edges of node id.
+// Succs returns the outgoing edges of node id. The returned slice is a
+// shared adjacency view: callers must not mutate it, and it is
+// invalidated by the next AddEdge.
 func (g *Graph) Succs(id int) []*Edge {
-	out := make([]*Edge, len(g.succs[id]))
-	for i, ei := range g.succs[id] {
-		out[i] = &g.Edges[ei]
+	if g.succPtrs == nil {
+		g.rebuildAdjacency()
 	}
-	return out
+	return g.succPtrs[id]
 }
 
-// Preds returns the incoming edges of node id.
+// Preds returns the incoming edges of node id. The returned slice is a
+// shared adjacency view: callers must not mutate it, and it is
+// invalidated by the next AddEdge.
 func (g *Graph) Preds(id int) []*Edge {
-	out := make([]*Edge, len(g.preds[id]))
-	for i, ei := range g.preds[id] {
-		out[i] = &g.Edges[ei]
+	if g.predPtrs == nil {
+		g.rebuildAdjacency()
 	}
-	return out
+	return g.predPtrs[id]
 }
 
 // IntraTopoOrder returns the nodes in a topological order of the

@@ -86,11 +86,17 @@ type PlacementFunc func(id int) (cycle, cluster int, ok bool)
 // (sched.Schedule) and in-flight partial placements (the MIRS state)
 // share the enumeration without copying their internal representation.
 type View struct {
-	Loop    *ir.Loop
-	Graph   *ir.Graph
+	// Loop is the loop body whose lifetimes are enumerated.
+	Loop *ir.Loop
+	// Graph is the loop's dependence graph; true edges define consumers.
+	Graph *ir.Graph
+	// Machine supplies latencies, bus latency and the cluster count.
 	Machine *machine.Machine
-	II      int
-	At      PlacementFunc
+	// II is the candidate initiation interval of the placement.
+	II int
+	// At is the placement accessor; unplaced instructions contribute no
+	// lifetimes.
+	At PlacementFunc
 }
 
 // Lifetimes enumerates every live range the view's placement implies:
@@ -102,10 +108,10 @@ func Lifetimes(v *View) []Lifetime {
 	var out []Lifetime
 	for id, in := range v.Loop.Instrs {
 		for _, d := range in.Defs {
-			out = append(out, OfDef(v, id, d)...)
+			out = AppendOfDef(out, v, id, d)
 		}
 	}
-	return append(out, LiveIns(v)...)
+	return appendLiveIns(out, v)
 }
 
 // OfDef enumerates the live ranges created by instruction id's
@@ -117,13 +123,31 @@ func Lifetimes(v *View) []Lifetime {
 // latency + bus latency, clamped to the last use) to the last local
 // use there. It returns nil while id is unplaced.
 func OfDef(v *View, id int, reg ir.VReg) []Lifetime {
+	return AppendOfDef(nil, v, id, reg)
+}
+
+// AppendOfDef is OfDef appending into dst (which may be a truncated
+// scratch slice, dst[:0]); it allocates nothing beyond what dst needs to
+// grow, so incremental pressure trackers can refresh a definition's
+// charged lifetimes in place on every placement change.
+func AppendOfDef(dst []Lifetime, v *View, id int, reg ir.VReg) []Lifetime {
 	start, home, ok := v.At(id)
 	if !ok {
-		return nil
+		return dst
 	}
 	end, dist := start, 0
-	type remote struct{ end, dist int }
-	var remotes map[int]*remote
+	// Per-cluster last-use tracking on the stack: issue cycles are
+	// non-negative, so -1 marks "no remote consumer on this cluster".
+	nc := v.Machine.NumClusters()
+	var endBuf, distBuf [16]int
+	rEnd, rDist := endBuf[:], distBuf[:]
+	if nc > len(endBuf) {
+		rEnd, rDist = make([]int, nc), make([]int, nc)
+	}
+	for c := 0; c < nc; c++ {
+		rEnd[c], rDist[c] = -1, 0
+	}
+	remotes := false
 	for _, e := range v.Graph.Succs(id) {
 		if e.Kind != ir.DepTrue || e.Reg != reg {
 			continue
@@ -140,38 +164,30 @@ func OfDef(v *View, id int, reg ir.VReg) []Lifetime {
 			dist = e.Distance
 		}
 		if ucl != home {
-			if remotes == nil {
-				remotes = map[int]*remote{}
+			remotes = true
+			if use > rEnd[ucl] {
+				rEnd[ucl] = use
 			}
-			r := remotes[ucl]
-			if r == nil {
-				remotes[ucl] = &remote{end: use, dist: e.Distance}
-			} else {
-				if use > r.end {
-					r.end = use
-				}
-				if e.Distance > r.dist {
-					r.dist = e.Distance
-				}
+			if e.Distance > rDist[ucl] {
+				rDist[ucl] = e.Distance
 			}
 		}
 	}
-	out := []Lifetime{{Reg: reg, Def: id, Cluster: home, Start: start, End: end, Distance: dist}}
-	if remotes != nil {
+	dst = append(dst, Lifetime{Reg: reg, Def: id, Cluster: home, Start: start, End: end, Distance: dist})
+	if remotes {
 		arrival := start + v.Machine.Latency(v.Loop.Instrs[id].Class) + v.Machine.BusLatency()
-		for uc := 0; uc < v.Machine.NumClusters(); uc++ {
-			r, consumed := remotes[uc]
-			if !consumed {
+		for uc := 0; uc < nc; uc++ {
+			if rEnd[uc] < 0 {
 				continue
 			}
 			s0 := arrival
-			if s0 > r.end {
-				s0 = r.end
+			if s0 > rEnd[uc] {
+				s0 = rEnd[uc]
 			}
-			out = append(out, Lifetime{Reg: reg, Def: id, Cluster: uc, Start: s0, End: r.end, Distance: r.dist})
+			dst = append(dst, Lifetime{Reg: reg, Def: id, Cluster: uc, Start: s0, End: rEnd[uc], Distance: rDist[uc]})
 		}
 	}
-	return out
+	return dst
 }
 
 // LiveIns enumerates the whole-kernel live ranges of the loop's live-in
@@ -181,30 +197,44 @@ func OfDef(v *View, id int, reg ir.VReg) []Lifetime {
 // clusters ascending within a register. Only placed consumers charge a
 // cluster.
 func LiveIns(v *View) []Lifetime {
+	return appendLiveIns(nil, v)
+}
+
+// appendLiveIns is LiveIns appending into dst, with the (register,
+// cluster) consumption matrix held in one flat bool slice instead of
+// nested maps.
+func appendLiveIns(dst []Lifetime, v *View) []Lifetime {
 	uses := LiveInUses(v.Loop)
-	clusters := map[ir.VReg]map[int]bool{}
+	nc := v.Machine.NumClusters()
+	maxReg := ir.VReg(-1)
+	for _, us := range uses {
+		for _, u := range us {
+			if u > maxReg {
+				maxReg = u
+			}
+		}
+	}
+	if maxReg < 0 {
+		return dst
+	}
+	consuming := make([]bool, (int(maxReg)+1)*nc)
 	for id := range v.Loop.Instrs {
 		_, cl, ok := v.At(id)
 		if !ok {
 			continue
 		}
 		for _, u := range uses[id] {
-			if clusters[u] == nil {
-				clusters[u] = map[int]bool{}
-			}
-			clusters[u][cl] = true
+			consuming[int(u)*nc+cl] = true
 		}
 	}
-	var out []Lifetime
-	for _, reg := range v.Loop.VRegs() {
-		consuming := clusters[reg]
-		for ci := 0; ci < v.Machine.NumClusters(); ci++ {
-			if consuming[ci] {
-				out = append(out, Lifetime{Reg: reg, Def: -1, Cluster: ci, Start: 0, End: v.II - 1})
+	for reg := ir.VReg(0); reg <= maxReg; reg++ {
+		for ci := 0; ci < nc; ci++ {
+			if consuming[int(reg)*nc+ci] {
+				dst = append(dst, Lifetime{Reg: reg, Def: -1, Cluster: ci, Start: 0, End: v.II - 1})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // LiveInUses returns, per instruction, the distinct live-in registers

@@ -35,7 +35,7 @@ import (
 	"fmt"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
-	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 )
@@ -145,11 +145,32 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 		maxSpills = 2 * req.Loop.NumInstrs()
 	}
 
+	// Analyses of the original (loop, graph) pair and the scheduling
+	// state itself are computed once and reused across the II search;
+	// each candidate II resets the state in place instead of rebuilding
+	// the reservation table, the pressure tracker and the bookkeeping
+	// slices from scratch.
+	height, err := sched.Heights(g)
+	if err != nil {
+		return nil, err
+	}
+	liveInUses := life.LiveInUses(req.Loop)
+	var st *state
+
 	firstComplete := 0
 	var best *sched.Schedule
 	bestExcess, bestII, stagnant := -1, 0, 0
 	for ii := mii.MII; ii <= maxII; {
-		out, completed, excess, err := s.tryII(req.Loop, g, req.Machine, ii, maxSpills)
+		if st == nil {
+			st, err = newState(g, req.Machine, ii)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := st.reset(req.Loop, g, ii, s.opts.MaxRetries, maxSpills, height, liveInUses); err != nil {
+			return nil, err
+		}
+		out, completed, excess, err := s.tryII(st)
 		if err != nil {
 			return nil, err
 		}
@@ -193,18 +214,16 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 		req.Loop.Name, req.Machine.Name, maxII)
 }
 
-// tryII attempts one candidate II. On a complete placement it returns
-// the (Validate-clean) schedule with its residual register overflow —
-// zero when every file fits, the summed per-cluster excess when the
-// spill machinery ran out of victims or budget first. completed reports
-// whether a full placement (pressure aside) was ever reached at this II,
-// which Schedule uses to attribute II increases to spilling. A nil
-// schedule with nil error means "escalate II".
-func (s *Scheduler) tryII(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxSpills int) (*sched.Schedule, bool, int, error) {
-	st, err := newState(loop, g, m, ii, s.opts.MaxRetries, maxSpills)
-	if err != nil {
-		return nil, false, 0, err
-	}
+// tryII attempts one candidate II on a freshly reset state. On a
+// complete placement it returns the (Validate-clean) schedule with its
+// residual register overflow — zero when every file fits, the summed
+// per-cluster excess when the spill machinery ran out of victims or
+// budget first. completed reports whether a full placement (pressure
+// aside) was ever reached at this II, which Schedule uses to attribute
+// II increases to spilling. A nil schedule with nil error means
+// "escalate II".
+func (s *Scheduler) tryII(st *state) (*sched.Schedule, bool, int, error) {
+	ii, m := st.ii, st.m
 	completed := false
 	for {
 		u := st.nextUnplaced()

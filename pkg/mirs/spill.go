@@ -2,7 +2,6 @@ package mirs
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/life"
@@ -34,16 +33,6 @@ func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
 		uses    int
 		carried bool
 	}
-	keys := make([]defKey, 0, len(st.charged))
-	for k := range st.charged {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].id != keys[j].id {
-			return keys[i].id < keys[j].id
-		}
-		return keys[i].reg < keys[j].reg
-	})
 	var best *cand
 	better := func(a, b *cand) bool { // is a better than b
 		if a.carried != b.carried {
@@ -57,52 +46,58 @@ func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
 		}
 		return a.id < b.id
 	}
-	for _, k := range keys {
-		if st.noSpill[k.id] {
+	// The dense charged table iterates definitions in (id, reg) order by
+	// construction (defRegs ascends within an instruction); an empty slot
+	// is a currently-uncharged (unplaced or dead) definition.
+	for id := 0; id < st.loop.NumInstrs(); id++ {
+		if st.noSpill[id] {
 			continue
 		}
-		length := 0
-		for _, lt := range st.charged[k] {
-			if lt.Cluster != cluster {
+		for fi := st.defBase[id]; fi < st.defBase[id+1]; fi++ {
+			if len(st.charged[fi]) == 0 {
 				continue
 			}
-			if l := lt.Length(); l > length {
-				length = l
+			reg := st.defRegs[fi]
+			length := 0
+			for _, lt := range st.charged[fi] {
+				if lt.Cluster != cluster {
+					continue
+				}
+				if l := lt.Length(); l > length {
+					length = l
+				}
 			}
-		}
-		if length < minLen {
-			continue
-		}
-		uses, carried, any := 0, true, false
-		for _, e := range st.g.Succs(k.id) {
-			if e.Kind != ir.DepTrue || e.Reg != k.reg {
+			if length < minLen {
 				continue
 			}
-			any = true
-			uses++
-			if e.Distance == 0 {
-				carried = false
+			uses, carried, any := 0, true, false
+			for _, e := range st.g.Succs(id) {
+				if e.Kind != ir.DepTrue || e.Reg != reg {
+					continue
+				}
+				any = true
+				uses++
+				if e.Distance == 0 {
+					carried = false
+				}
 			}
-		}
-		if !any {
-			continue // dead value; spilling it frees nothing
-		}
-		c := &cand{id: k.id, reg: k.reg, length: length, uses: uses, carried: carried}
-		if best == nil || better(c, best) {
-			best = c
+			if !any {
+				continue // dead value; spilling it frees nothing
+			}
+			c := &cand{id: id, reg: reg, length: length, uses: uses, carried: carried}
+			if best == nil || better(c, best) {
+				best = c
+			}
 		}
 	}
 	// Live-ins consumed on this cluster: whole-kernel lifetimes, reload
 	// traffic equal to their number of consuming instructions.
 	if st.ii >= minLen {
-		liveRegs := make([]ir.VReg, 0, len(st.liveIn))
-		for k, refs := range st.liveIn {
-			if k.cluster == cluster && refs > 0 {
-				liveRegs = append(liveRegs, k.reg)
+		for r := 0; r < st.nregs; r++ {
+			if st.liveIn[cluster*st.nregs+r] <= 0 {
+				continue
 			}
-		}
-		sort.Slice(liveRegs, func(i, j int) bool { return liveRegs[i] < liveRegs[j] })
-		for _, reg := range liveRegs {
+			reg := ir.VReg(r)
 			uses := 0
 			for _, in := range st.loop.Instrs {
 				for _, u := range in.Uses {
@@ -199,9 +194,9 @@ func (st *state) applySpill(id int, reg ir.VReg) bool {
 	}
 	st.spills++
 	if sp.StoreID >= 0 {
-		st.stats["spill_stores"]++
+		st.spillStores++
 	}
-	st.stats["spill_loads"] += len(sp.ReloadIDs)
+	st.spillLoads += len(sp.ReloadIDs)
 
 	n := sp.Loop.NumInstrs()
 	// The force budget is a per-instruction allowance (MaxRetries × n);
@@ -237,21 +232,14 @@ func (st *state) applySpill(id int, reg ir.VReg) bool {
 	if err != nil {
 		panic(fmt.Sprintf("mirs: spill of %s (def %d): %v", reg, id, err))
 	}
-	mrt, err := sched.NewMRT(st.m, st.ii)
-	if err != nil {
-		panic(err)
-	}
-	track, err := regpress.NewTracker(st.m, st.ii)
-	if err != nil {
-		panic(err)
-	}
 
 	st.loop, st.g = sp.Loop, sp.Graph
 	st.plc, st.placed, st.noSpill, st.forcedAt, st.height = plc, placed, noSpill, forcedAt, height
-	st.mrt, st.track = mrt, track
-	st.charged = map[defKey][]life.Lifetime{}
-	st.liveIn = map[liveInKey]int{}
-	st.refreshLifeView()
+	st.mrt.Reset(st.ii)
+	st.track.Reset(st.ii)
+	st.wc.Reset(st.g, st.m, st.ii)
+	st.liveInUses = life.LiveInUses(st.loop)
+	st.rebindLoop()
 
 	// Re-seat the surviving placements in the fresh MRT: unit slots,
 	// then bus transfers (one per cross-cluster true edge with both ends

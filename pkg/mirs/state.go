@@ -2,6 +2,7 @@ package mirs
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/life"
@@ -15,6 +16,11 @@ import (
 // modulo reservation table (units and buses), and an incremental
 // register-pressure account that mirrors regpress.Analyze lifetime by
 // lifetime so the placement loop can consult pressure cheaply.
+//
+// One state value serves a whole Schedule call: reset retargets it to
+// the next candidate II while reusing every backing allocation — the
+// MRT, the pressure tracker, the window cache and the dense bookkeeping
+// tables below — so the steady-state placement path allocates nothing.
 type state struct {
 	m      *machine.Machine
 	ii     int
@@ -25,6 +31,9 @@ type state struct {
 	plc    []sched.Placement
 	placed []bool
 	height []int
+	// wc memoises deadline-window scans; every placement mutation goes
+	// through commit/unplace, which invalidate the affected entries.
+	wc *sched.WindowCache
 	// noSpill marks instructions whose definitions must not be selected
 	// as spill victims: spill stores/reloads themselves and definitions
 	// already spilled once, which keeps spilling from feeding on its own
@@ -37,18 +46,34 @@ type state struct {
 	maxRetries int // per-instruction budget rate; spill growth adds at this rate
 	spills     int
 	maxSpill   int
-	stats      map[string]int
+	// Backend counters, materialised as Schedule.Stats by schedule().
+	ejections, spillStores, spillLoads int
 
 	// lview is the life.View of the in-flight partial placement: the
 	// shared lifetime enumeration reads placements through it, so the
 	// pressure the placement loop steers on is, by construction, the
-	// same model regpress.Analyze settles with.
+	// same model regpress.Analyze settles with. The accessor closure is
+	// bound to the state and reads the *current* plc/placed/loop fields,
+	// so II retries and spill swaps need no re-closure.
 	lview *life.View
 	// liveInUses[i] are the distinct live-in registers instruction i
 	// reads (life.LiveInUses), the refcount basis of liveInAdjust.
 	liveInUses [][]ir.VReg
-	liveIn     map[liveInKey]int
-	charged    map[defKey][]life.Lifetime
+	// liveIn holds the live-in refcounts densely: liveIn[ci*nregs+reg]
+	// counts cluster ci's placed consumers of live-in register reg.
+	liveIn []int32
+	nregs  int
+	// The charged lifetimes per definition, densely indexed: definition
+	// (id, reg) lives at the flat slot defBase[id] <= fi < defBase[id+1]
+	// with defRegs[fi] == reg; registers ascend within an instruction so
+	// victim scans reproduce the sorted-map iteration order. A slot's
+	// slice is truncated and refilled in place on every refresh.
+	defBase []int
+	defRegs []ir.VReg
+	charged [][]life.Lifetime
+
+	seenDefs []defKey         // refreshAround dedup scratch
+	trs      []sched.Transfer // transfer enumeration scratch
 
 	memLat, busLat int
 }
@@ -58,12 +83,12 @@ type defKey struct {
 	reg ir.VReg
 }
 
-type liveInKey struct {
-	reg     ir.VReg
-	cluster int
-}
-
-func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, maxSpills int) (*state, error) {
+// newState allocates the reusable scheduling infrastructure for one
+// Schedule call: the reservation table, pressure tracker, window cache
+// and the life-view closure, initially sized for candidate II ii. It
+// does not ready the state for scheduling — callers must reset before
+// use (and once per subsequent candidate II).
+func newState(g *ir.Graph, m *machine.Machine, ii int) (*state, error) {
 	mrt, err := sched.NewMRT(m, ii)
 	if err != nil {
 		return nil, err
@@ -72,50 +97,161 @@ func newState(loop *ir.Loop, g *ir.Graph, m *machine.Machine, ii, maxRetries, ma
 	if err != nil {
 		return nil, err
 	}
-	height, err := sched.Heights(g)
-	if err != nil {
-		return nil, err
-	}
-	n := loop.NumInstrs()
 	st := &state{
-		m:          m,
-		ii:         ii,
-		loop:       loop,
-		g:          g,
-		mrt:        mrt,
-		track:      track,
-		plc:        make([]sched.Placement, n),
-		placed:     make([]bool, n),
-		height:     height,
-		noSpill:    make([]bool, n),
-		forcedAt:   make([]int, n),
-		budget:     maxRetries * n,
-		maxRetries: maxRetries,
-		maxSpill:   maxSpills,
-		stats:      map[string]int{"ejections": 0, "spill_stores": 0, "spill_loads": 0},
-		liveIn:     map[liveInKey]int{},
-		charged:    map[defKey][]life.Lifetime{},
-		memLat:     m.Latency(machine.ClassMem),
-		busLat:     m.BusLatency(),
+		m:      m,
+		mrt:    mrt,
+		track:  track,
+		wc:     sched.NewWindowCache(g, m, ii),
+		memLat: m.Latency(machine.ClassMem),
+		busLat: m.BusLatency(),
 	}
-	st.refreshLifeView()
+	st.lview = &life.View{At: func(id int) (int, int, bool) {
+		if !st.placed[id] {
+			return 0, 0, false
+		}
+		p := st.plc[id]
+		return p.Cycle, p.Cluster, true
+	}}
 	return st, nil
 }
 
-// refreshLifeView rebinds the lifetime view and live-in use table to the
-// state's current loop/graph pair; call it whenever a spill swaps them.
-// The view's accessor reads st.plc/st.placed at query time, so placement
-// changes need no rebinding.
-func (st *state) refreshLifeView() {
-	st.lview = &life.View{Loop: st.loop, Graph: st.g, Machine: st.m, II: st.ii,
-		At: func(id int) (int, int, bool) {
-			if !st.placed[id] {
-				return 0, 0, false
+// reset retargets the state to candidate II ii over (loop, g), reusing
+// every backing allocation. height and liveInUses may carry precomputed
+// analyses of (g, loop); pass nil to recompute them.
+func (st *state) reset(loop *ir.Loop, g *ir.Graph, ii, maxRetries, maxSpills int, height []int, liveInUses [][]ir.VReg) error {
+	if height == nil {
+		var err error
+		height, err = sched.Heights(g)
+		if err != nil {
+			return err
+		}
+	}
+	if liveInUses == nil {
+		liveInUses = life.LiveInUses(loop)
+	}
+	n := loop.NumInstrs()
+	st.ii = ii
+	st.loop, st.g = loop, g
+	st.height = height
+	st.liveInUses = liveInUses
+	st.mrt.Reset(ii)
+	st.track.Reset(ii)
+	st.wc.Reset(g, st.m, ii)
+	st.plc = resizePlacements(st.plc, n)
+	st.placed = resizeBools(st.placed, n)
+	st.noSpill = resizeBools(st.noSpill, n)
+	st.forcedAt = resizeInts(st.forcedAt, n)
+	st.budget = maxRetries * n
+	st.maxRetries = maxRetries
+	st.spills = 0
+	st.maxSpill = maxSpills
+	st.ejections, st.spillStores, st.spillLoads = 0, 0, 0
+	st.rebindLoop()
+	return nil
+}
+
+// rebindLoop refreshes every table derived from the current loop/graph
+// pair: the life view binding, the dense live-in refcounts and the
+// charged-lifetime slots. Call it from reset and after a spill swaps the
+// loop.
+func (st *state) rebindLoop() {
+	st.lview.Loop, st.lview.Graph, st.lview.Machine, st.lview.II = st.loop, st.g, st.m, st.ii
+
+	st.nregs = 0
+	for _, in := range st.loop.Instrs {
+		for _, v := range in.Defs {
+			if int(v)+1 > st.nregs {
+				st.nregs = int(v) + 1
 			}
-			p := st.plc[id]
-			return p.Cycle, p.Cluster, true
-		}}
-	st.liveInUses = life.LiveInUses(st.loop)
+		}
+		for _, v := range in.Uses {
+			if int(v)+1 > st.nregs {
+				st.nregs = int(v) + 1
+			}
+		}
+	}
+	st.liveIn = resizeInt32s(st.liveIn, st.m.NumClusters()*st.nregs)
+
+	n := st.loop.NumInstrs()
+	if cap(st.defBase) < n+1 {
+		st.defBase = make([]int, n+1)
+	} else {
+		st.defBase = st.defBase[:n+1]
+	}
+	st.defRegs = st.defRegs[:0]
+	for i, in := range st.loop.Instrs {
+		st.defBase[i] = len(st.defRegs)
+		st.defRegs = append(st.defRegs, in.Defs...)
+		// Registers ascend within an instruction so the victim scan's
+		// (id, reg) order matches the old sorted-key iteration.
+		slot := st.defRegs[st.defBase[i]:]
+		sort.Slice(slot, func(a, b int) bool { return slot[a] < slot[b] })
+	}
+	st.defBase[n] = len(st.defRegs)
+	if cap(st.charged) < len(st.defRegs) {
+		charged := make([][]life.Lifetime, len(st.defRegs))
+		copy(charged, st.charged)
+		st.charged = charged
+	} else {
+		st.charged = st.charged[:len(st.defRegs)]
+	}
+	for i := range st.charged {
+		st.charged[i] = st.charged[i][:0]
+	}
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizePlacements(s []sched.Placement, n int) []sched.Placement {
+	if cap(s) < n {
+		return make([]sched.Placement, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = sched.Placement{}
+	}
+	return s
+}
+
+// defSlot returns the flat charged index of definition (id, reg).
+func (st *state) defSlot(id int, reg ir.VReg) int {
+	for fi := st.defBase[id]; fi < st.defBase[id+1]; fi++ {
+		if st.defRegs[fi] == reg {
+			return fi
+		}
+	}
+	panic(fmt.Sprintf("mirs: instruction %d does not define %s", id, reg))
 }
 
 // nextUnplaced picks the next instruction to place: among the unplaced
@@ -172,9 +308,11 @@ func (st *state) clusterSupports(ci int, class machine.OpClass) bool {
 }
 
 // transfersFor lists the bus transfers that placing u on (cluster, cycle)
-// creates against already-placed neighbours.
+// creates against already-placed neighbours. The returned slice is the
+// state's scratch buffer, invalidated by the next call.
 func (st *state) transfersFor(u, cluster, cycle int) []sched.Transfer {
-	return sched.PlacementTransfers(st.g, st.m, st.loop, st.plc, st.placed, u, cluster, cycle)
+	st.trs = sched.AppendPlacementTransfers(st.trs[:0], st.g, st.m, st.loop, st.plc, st.placed, u, cluster, cycle)
+	return st.trs
 }
 
 func (st *state) removeTransfers(trs []sched.Transfer) {
@@ -241,7 +379,7 @@ func (st *state) place(u int) bool {
 		if !st.clusterSupports(ci, class) {
 			continue
 		}
-		est, lst := sched.Window(st.g, st.m, st.plc, st.placed, st.ii, u, ci)
+		est, lst := st.wc.Window(st.plc, st.placed, u, ci)
 		if lst < est {
 			continue // empty window: only a forced placement can resolve it
 		}
@@ -307,7 +445,7 @@ func (st *state) compact() {
 // by compact, which always re-places the op it lifts.
 func (st *state) ejectQuietly(u int) {
 	st.unplace(u)
-	st.stats["ejections"]--
+	st.ejections--
 }
 
 // placeNoForce is the probe half of place: it commits u at the best
@@ -340,7 +478,7 @@ func (st *state) force(u int) bool {
 		if !st.clusterSupports(c, class) {
 			continue
 		}
-		e := sched.EarliestStart(st.g, st.m, st.plc, st.placed, st.ii, u, c)
+		e := st.wc.EarliestStart(st.plc, st.placed, u, c)
 		if ci == -1 || e < est {
 			ci, est = c, e
 		}
@@ -427,6 +565,7 @@ func (st *state) commit(u, ci, t, slot int) {
 	}
 	st.plc[u] = sched.Placement{Cycle: t, Cluster: ci, Slot: slot}
 	st.placed[u] = true
+	st.wc.Invalidate(u)
 	st.refreshAround(u)
 	st.liveInAdjust(u, 1)
 }
@@ -435,7 +574,7 @@ func (st *state) commit(u, ci, t, slot int) {
 // transfers its placement implied, and rolls its pressure contributions
 // back. x returns to the pending pool via nextUnplaced.
 func (st *state) unplace(x int) {
-	st.stats["ejections"]++
+	st.ejections++
 	p := st.plc[x]
 	st.mrt.Release(p.Cluster, p.Slot, p.Cycle)
 	for _, e := range st.g.Preds(x) {
@@ -452,6 +591,7 @@ func (st *state) unplace(x int) {
 	}
 	st.liveInAdjust(x, -1)
 	st.placed[x] = false
+	st.wc.Invalidate(x)
 	st.refreshAround(x)
 }
 
@@ -462,14 +602,21 @@ func (st *state) refreshAround(x int) {
 	for _, d := range st.loop.Instrs[x].Defs {
 		st.refreshDef(x, d)
 	}
-	seen := map[defKey]bool{}
+	st.seenDefs = st.seenDefs[:0]
 	for _, e := range st.g.Preds(x) {
 		if e.Kind != ir.DepTrue {
 			continue
 		}
 		k := defKey{e.From, e.Reg}
-		if !seen[k] {
-			seen[k] = true
+		dup := false
+		for _, s := range st.seenDefs {
+			if s == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			st.seenDefs = append(st.seenDefs, k)
 			st.refreshDef(e.From, e.Reg)
 		}
 	}
@@ -479,21 +626,18 @@ func (st *state) refreshAround(x int) {
 // id writes to reg through the shared lifetime enumeration (life.OfDef):
 // the local lifetime to its last placed consumer plus one bus-delivered
 // copy per consuming remote cluster — the identical model
-// regpress.Analyze settles the schedule with.
+// regpress.Analyze settles the schedule with. The charged slot's slice
+// is refilled in place, so steady-state refreshes allocate nothing.
 func (st *state) refreshDef(id int, reg ir.VReg) {
-	k := defKey{id, reg}
-	for _, lt := range st.charged[k] {
+	fi := st.defSlot(id, reg)
+	for _, lt := range st.charged[fi] {
 		st.track.RemoveLifetime(lt)
 	}
-	delete(st.charged, k)
-	lts := life.OfDef(st.lview, id, reg)
-	if len(lts) == 0 {
-		return
-	}
+	lts := life.AppendOfDef(st.charged[fi][:0], st.lview, id, reg)
 	for _, lt := range lts {
 		st.track.AddLifetime(lt)
 	}
-	st.charged[k] = lts
+	st.charged[fi] = lts
 }
 
 // liveInAdjust charges (delta=+1) or releases (delta=-1) whole-kernel
@@ -502,13 +646,13 @@ func (st *state) refreshDef(id int, reg ir.VReg) {
 func (st *state) liveInAdjust(x, delta int) {
 	ci := st.plc[x].Cluster
 	for _, u := range st.liveInUses[x] {
-		k := liveInKey{u, ci}
-		st.liveIn[k] += delta
+		i := ci*st.nregs + int(u)
+		st.liveIn[i] += int32(delta)
 		lt := life.Lifetime{Reg: u, Def: -1, Cluster: ci, Start: 0, End: st.ii - 1}
-		if delta > 0 && st.liveIn[k] == 1 {
+		if delta > 0 && st.liveIn[i] == 1 {
 			st.track.AddLifetime(lt)
 		}
-		if delta < 0 && st.liveIn[k] == 0 {
+		if delta < 0 && st.liveIn[i] == 0 {
 			st.track.RemoveLifetime(lt)
 		}
 	}
@@ -517,10 +661,6 @@ func (st *state) liveInAdjust(x, delta int) {
 // schedule snapshots the current (complete) placement as a
 // sched.Schedule.
 func (st *state) schedule(by string) *sched.Schedule {
-	stats := make(map[string]int, len(st.stats))
-	for k, v := range st.stats {
-		stats[k] = v
-	}
 	return &sched.Schedule{
 		Loop:       st.loop,
 		Machine:    st.m,
@@ -528,6 +668,10 @@ func (st *state) schedule(by string) *sched.Schedule {
 		II:         st.ii,
 		Placements: append([]sched.Placement(nil), st.plc...),
 		By:         by,
-		Stats:      stats,
+		Stats: map[string]int{
+			"ejections":    st.ejections,
+			"spill_stores": st.spillStores,
+			"spill_loads":  st.spillLoads,
+		},
 	}
 }

@@ -38,6 +38,27 @@ func NewTracker(m *machine.Machine, ii int) (*Tracker, error) {
 	return t, nil
 }
 
+// Reset zeroes the account and retargets it to a (possibly different)
+// II, reusing the per-cluster count rows when their capacity allows.
+// Schedulers call it once per candidate II so the incremental pressure
+// path allocates nothing across an II search.
+func (t *Tracker) Reset(ii int) {
+	if ii < 1 {
+		panic(fmt.Sprintf("regpress: tracker reset to II %d < 1", ii))
+	}
+	t.ii = ii
+	for ci := range t.counts {
+		if cap(t.counts[ci]) < ii {
+			t.counts[ci] = make([]int, ii)
+			continue
+		}
+		t.counts[ci] = t.counts[ci][:ii]
+		for c := range t.counts[ci] {
+			t.counts[ci][c] = 0
+		}
+	}
+}
+
 // II returns the tracker's initiation interval.
 func (t *Tracker) II() int { return t.ii }
 

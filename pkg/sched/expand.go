@@ -40,7 +40,9 @@ var ErrUnrollBound = errors.New("unroll factor exceeds bound")
 // i with i mod Copies(v) == c. Live-in registers never rotate and always
 // appear as copy 0.
 type RegCopy struct {
-	Reg  ir.VReg
+	// Reg is the original virtual register.
+	Reg ir.VReg
+	// Copy is the rotating copy index in [0, Copies(Reg)).
 	Copy int
 }
 
@@ -180,7 +182,7 @@ func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
 		}
 	}
 
-	reach, _ := reachingDefs(s)
+	dists, defined := useDists(s)
 
 	ek := &ExpandedKernel{
 		Schedule: s,
@@ -200,20 +202,34 @@ func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
 		}
 		return RegCopy{Reg: v, Copy: ((iter % c) + c) % c}
 	}
+	// One backing array per operand direction, sized exactly, so the
+	// unroll×n instance loop allocates nothing per instance.
+	totalDefs, totalUses := 0, 0
+	for _, in := range s.Loop.Instrs {
+		totalDefs += len(in.Defs)
+		totalUses += len(in.Uses)
+	}
+	defsBack := make([]RegCopy, 0, unroll*totalDefs)
+	usesBack := make([]RegCopy, 0, unroll*totalUses)
+	ek.Instrs = make([]ExpandedInstr, 0, unroll*n)
 	for u := 0; u < unroll; u++ {
 		for id, in := range s.Loop.Instrs {
 			xi := ExpandedInstr{ID: id, Iteration: u, Cycle: (u*s.II + s.Start(id)) % period}
+			d0 := len(defsBack)
 			for _, d := range in.Defs {
-				xi.Defs = append(xi.Defs, nameOf(d, u))
+				defsBack = append(defsBack, nameOf(d, u))
 			}
-			for _, uv := range in.Uses {
-				d, defined := reach[[2]int{id, int(uv)}]
-				if !defined {
-					xi.Uses = append(xi.Uses, RegCopy{Reg: uv, Copy: 0})
+			xi.Defs = defsBack[d0:len(defsBack):len(defsBack)]
+			u0 := len(usesBack)
+			for j, uv := range in.Uses {
+				d := dists[id][j]
+				if d < 0 {
+					usesBack = append(usesBack, RegCopy{Reg: uv, Copy: 0})
 					continue
 				}
-				xi.Uses = append(xi.Uses, nameOf(uv, u-d))
+				usesBack = append(usesBack, nameOf(uv, u-int(d)))
 			}
+			xi.Uses = usesBack[u0:len(usesBack):len(usesBack)]
 			ek.Instrs = append(ek.Instrs, xi)
 		}
 	}
@@ -241,12 +257,22 @@ func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
 
 	// Post-expansion pressure and register-name count: fold every
 	// lifetime's Unroll per-iteration instances over the expanded
-	// period.
+	// period. An interval longer than the period covers every cycle
+	// floor(len/period) times plus a len-mod-period remainder, so the
+	// fold costs O(min(len, period)) per instance instead of O(len).
 	perCycle := make([]int, period)
 	for _, lt := range lts {
+		length := lt.End - lt.Start + 1
 		for u := 0; u < unroll; u++ {
-			for t := lt.Start + u*s.II; t <= lt.End+u*s.II; t++ {
-				perCycle[((t%period)+period)%period]++
+			if full := length / period; full > 0 {
+				for i := range perCycle {
+					perCycle[i] += full
+				}
+			}
+			rem := length % period
+			start := (((lt.Start + u*s.II) % period) + period) % period
+			for k := 0; k < rem; k++ {
+				perCycle[(start+k)%period]++
 			}
 		}
 	}
@@ -266,7 +292,7 @@ func (s *Schedule) ExpandWith(lts []life.Lifetime) (*ExpandedKernel, error) {
 	}
 	ek.Registers += len(liveIns)
 
-	if err := ek.validate(lts); err != nil {
+	if err := ek.validate(lts, dists, defined); err != nil {
 		return nil, fmt.Errorf("sched: expand: internal: %w", err)
 	}
 	return ek, nil
@@ -286,13 +312,15 @@ func (ek *ExpandedKernel) Validate() error {
 	if err := ek.Schedule.Validate(); err != nil {
 		return err
 	}
-	return ek.validate(life.Lifetimes(ek.Schedule.LifeView()))
+	dists, defined := useDists(ek.Schedule)
+	return ek.validate(life.Lifetimes(ek.Schedule.LifeView()), dists, defined)
 }
 
-// validate is Validate with the schedule check and lifetime enumeration
-// hoisted out, so Expand — which has just validated the schedule and
-// already holds the enumeration — does not pay for them twice.
-func (ek *ExpandedKernel) validate(lts []life.Lifetime) error {
+// validate is Validate with the schedule check, lifetime enumeration and
+// reaching-definition derivation hoisted out, so Expand — which has just
+// validated the schedule and already holds all three — does not pay for
+// them twice.
+func (ek *ExpandedKernel) validate(lts []life.Lifetime, dists [][]int32, defined map[ir.VReg]bool) error {
 	s := ek.Schedule
 	if ek.Unroll < 1 {
 		return fmt.Errorf("sched: expanded kernel with unroll %d < 1", ek.Unroll)
@@ -308,9 +336,20 @@ func (ek *ExpandedKernel) validate(lts []life.Lifetime) error {
 	// (def time, value end time, both in the flat frame), then check
 	// each value dies before the next definition of the same name —
 	// the wrap to the following period included. A redefinition *at*
-	// the last-use cycle is legal: operands are read at issue.
-	type defEvent struct{ t, end int }
-	events := map[RegCopy][]defEvent{}
+	// the last-use cycle is legal: operands are read at issue. Events
+	// live in one sorted slice, grouped by (register, copy).
+	type defEvent struct {
+		reg    ir.VReg
+		copy   int
+		t, end int
+	}
+	nLocal := 0
+	for _, lt := range lts {
+		if lt.Def >= 0 && lt.Cluster == s.Placements[lt.Def].Cluster {
+			nLocal++
+		}
+	}
+	events := make([]defEvent, 0, nLocal*ek.Unroll)
 	for _, lt := range lts {
 		if lt.Def < 0 || lt.Cluster != s.Placements[lt.Def].Cluster {
 			continue // live-ins are never redefined; remote copies mirror the local range
@@ -320,27 +359,39 @@ func (ek *ExpandedKernel) validate(lts []life.Lifetime) error {
 			return fmt.Errorf("sched: expanded kernel has no copy count for defined register %s", lt.Reg)
 		}
 		for u := 0; u < ek.Unroll; u++ {
-			name := RegCopy{Reg: lt.Reg, Copy: u % c}
-			events[name] = append(events[name], defEvent{t: lt.Start + u*s.II, end: lt.End + u*s.II})
+			events = append(events, defEvent{reg: lt.Reg, copy: u % c, t: lt.Start + u*s.II, end: lt.End + u*s.II})
 		}
 	}
-	for name, evs := range events {
-		sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
-		for i, ev := range evs {
-			next := evs[0].t + period
-			if i+1 < len(evs) {
-				next = evs[i+1].t
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].reg != events[j].reg {
+			return events[i].reg < events[j].reg
+		}
+		if events[i].copy != events[j].copy {
+			return events[i].copy < events[j].copy
+		}
+		return events[i].t < events[j].t
+	})
+	for lo := 0; lo < len(events); {
+		hi := lo
+		for hi < len(events) && events[hi].reg == events[lo].reg && events[hi].copy == events[lo].copy {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			ev := events[i]
+			next := events[lo].t + period
+			if i+1 < hi {
+				next = events[i+1].t
 			}
 			if ev.end > next {
 				return fmt.Errorf("sched: renamed register %s defined at cycle %d is redefined at %d before its last use at %d (unroll %d, II %d)",
-					name, ev.t, next, ev.end, ek.Unroll, s.II)
+					RegCopy{Reg: ev.reg, Copy: ev.copy}, ev.t, next, ev.end, ek.Unroll, s.II)
 			}
 		}
+		lo = hi
 	}
 
 	// Renaming consistency: every use reads the copy its reaching
 	// definition (Iteration - edge distance) wrote.
-	reach, defined := reachingDefs(s)
 	for _, xi := range ek.Instrs {
 		in := s.Loop.Instrs[xi.ID]
 		if len(xi.Defs) != len(in.Defs) || len(xi.Uses) != len(in.Uses) {
@@ -359,9 +410,9 @@ func (ek *ExpandedKernel) validate(lts []life.Lifetime) error {
 		}
 		for j, uv := range in.Uses {
 			want := RegCopy{Reg: uv, Copy: 0}
-			if d, ok := reach[[2]int{xi.ID, int(uv)}]; ok && defined[uv] {
+			if d := dists[xi.ID][j]; d >= 0 && defined[uv] {
 				c := ek.Copies[uv]
-				want.Copy = (((xi.Iteration - d) % c) + c) % c
+				want.Copy = (((xi.Iteration - int(d)) % c) + c) % c
 			}
 			if xi.Uses[j] != want {
 				return fmt.Errorf("sched: instance (%d, iter %d) reads %s for %s, want %s",
@@ -401,26 +452,48 @@ func (ek *ExpandedKernel) String() string {
 	return out
 }
 
-// reachingDefs derives, from the schedule's graph, the dependence
-// distance of each use's reaching definition — keyed by (consumer ID,
-// register) — and the set of registers the loop defines. The renaming
-// builder and the kernel validator both read the same derivation, so
-// they cannot drift apart.
-func reachingDefs(s *Schedule) (reach map[[2]int]int, defined map[ir.VReg]bool) {
-	reach = map[[2]int]int{}
-	defined = map[ir.VReg]bool{}
+// useDists derives, from the schedule's graph, the dependence distance
+// of each use's reaching definition — dists[id][j] parallels
+// Instrs[id].Uses, with -1 marking a use no true edge reaches — and the
+// set of registers the loop defines. The renaming builder and the kernel
+// validator both read the same derivation, so they cannot drift apart.
+// When several true edges target the same (consumer, register) pair the
+// highest-indexed edge wins, matching the map-overwrite semantics the
+// derivation originally had.
+func useDists(s *Schedule) (dists [][]int32, defined map[ir.VReg]bool) {
+	n := s.Loop.NumInstrs()
+	total := 0
+	for _, in := range s.Loop.Instrs {
+		total += len(in.Uses)
+	}
+	back := make([]int32, total)
+	for i := range back {
+		back[i] = -1
+	}
+	dists = make([][]int32, n)
+	off := 0
+	for id, in := range s.Loop.Instrs {
+		dists[id] = back[off : off+len(in.Uses)]
+		off += len(in.Uses)
+	}
 	for i := range s.Graph.Edges {
 		e := &s.Graph.Edges[i]
-		if e.Kind == ir.DepTrue {
-			reach[[2]int{e.To, int(e.Reg)}] = e.Distance
+		if e.Kind != ir.DepTrue {
+			continue
+		}
+		for j, uv := range s.Loop.Instrs[e.To].Uses {
+			if uv == e.Reg {
+				dists[e.To][j] = int32(e.Distance)
+			}
 		}
 	}
+	defined = map[ir.VReg]bool{}
 	for _, in := range s.Loop.Instrs {
 		for _, d := range in.Defs {
 			defined[d] = true
 		}
 	}
-	return reach, defined
+	return dists, defined
 }
 
 func gcd(a, b int) int {

@@ -58,8 +58,14 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 			maxII = mii.MII
 		}
 	}
+	// One reservation table and one placement buffer serve the whole II
+	// search: tryII resets them per candidate instead of reallocating.
+	scratch, err := newListScratch(req.Machine, g, mii.MII)
+	if err != nil {
+		return nil, err
+	}
 	for ii := mii.MII; ii <= maxII; ii++ {
-		s, ok := ls.tryII(req, g, order, ii, -1)
+		s, ok := ls.tryII(req, g, order, ii, -1, scratch)
 		if !ok {
 			continue
 		}
@@ -78,7 +84,7 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 	// serial schedule always exists at some II within the horizon.
 	if ci := soleClusterFor(req); ci >= 0 {
 		for ii := mii.MII; ii <= maxII; ii++ {
-			s, ok := ls.tryII(req, g, order, ii, ci)
+			s, ok := ls.tryII(req, g, order, ii, ci, scratch)
 			if !ok {
 				continue
 			}
@@ -180,18 +186,43 @@ func placementOrder(g *ir.Graph) ([]int, error) {
 	return final, nil
 }
 
+// listScratch is the state one ListScheduler.Schedule call reuses across
+// its II search: the reservation table, the placement buffers and a
+// transfer scratch slice. Nothing in the per-candidate placement loop
+// allocates.
+type listScratch struct {
+	mrt    *MRT
+	placed []bool
+	plc    []Placement
+	trs    []Transfer
+}
+
+func newListScratch(m *machine.Machine, g *ir.Graph, ii int) (*listScratch, error) {
+	mrt, err := NewMRT(m, ii)
+	if err != nil {
+		return nil, err
+	}
+	return &listScratch{
+		mrt:    mrt,
+		placed: make([]bool, g.NumNodes()),
+		plc:    make([]Placement, g.NumNodes()),
+	}, nil
+}
+
 // tryII attempts one greedy placement pass at a fixed II. A non-negative
 // onlyCluster restricts every placement to that cluster (the bus-free
 // fallback mode). ok=false means some instruction found no free slot
-// within its II-cycle window.
-func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCluster int) (*Schedule, bool) {
+// within its II-cycle window. On success the returned schedule owns a
+// fresh copy of the placements, so the scratch stays reusable.
+func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCluster int, sc *listScratch) (*Schedule, bool) {
 	m := req.Machine
-	mrt, err := NewMRT(m, ii)
-	if err != nil {
-		return nil, false
+	sc.mrt.Reset(ii)
+	mrt := sc.mrt
+	placed, plc := sc.placed, sc.plc
+	for i := range placed {
+		placed[i] = false
+		plc[i] = Placement{}
 	}
-	placed := make([]bool, g.NumNodes())
-	plc := make([]Placement, g.NumNodes())
 
 	for _, id := range order {
 		in := req.Loop.Instrs[id]
@@ -213,19 +244,19 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 				if !ok {
 					continue
 				}
-				trs := PlacementTransfers(g, m, req.Loop, plc, placed, id, ci, t)
-				if _, err := mrt.AddTransfers(trs); err != nil {
+				sc.trs = AppendPlacementTransfers(sc.trs[:0], g, m, req.Loop, plc, placed, id, ci, t)
+				if _, err := mrt.AddTransfers(sc.trs); err != nil {
 					continue
 				}
 				// Probe only: the winning candidate re-adds below.
-				for _, tr := range trs {
+				for _, tr := range sc.trs {
 					mrt.RemoveTransfer(tr.From, tr.Reg, tr.Dest)
 				}
 				// Earliest cycle wins; ties go to the cluster needing
 				// fewer bus transfers, which both saves bandwidth for
 				// later placements and keeps dependence chains local.
-				if best.cycle == -1 || t < best.cycle || (t == best.cycle && len(trs) < best.ntr) {
-					best = cand{cycle: t, cluster: ci, slot: slot, ntr: len(trs)}
+				if best.cycle == -1 || t < best.cycle || (t == best.cycle && len(sc.trs) < best.ntr) {
+					best = cand{cycle: t, cluster: ci, slot: slot, ntr: len(sc.trs)}
 				}
 				break
 			}
@@ -236,7 +267,8 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 		if err := mrt.Reserve(best.cluster, best.slot, best.cycle, id); err != nil {
 			return nil, false
 		}
-		if _, err := mrt.AddTransfers(PlacementTransfers(g, m, req.Loop, plc, placed, id, best.cluster, best.cycle)); err != nil {
+		sc.trs = AppendPlacementTransfers(sc.trs[:0], g, m, req.Loop, plc, placed, id, best.cluster, best.cycle)
+		if _, err := mrt.AddTransfers(sc.trs); err != nil {
 			return nil, false
 		}
 		plc[id] = Placement{Cycle: best.cycle, Cluster: best.cluster, Slot: best.slot}
@@ -247,7 +279,7 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 		Machine:    m,
 		Graph:      g,
 		II:         ii,
-		Placements: plc,
+		Placements: append([]Placement(nil), plc...),
 		By:         ls.Name(),
 	}, true
 }

@@ -185,27 +185,38 @@ func sccHasCycle(g *ir.Graph, scc []int) bool {
 // monotone in II because every cycle inside an SCC of a valid dependence
 // graph has total distance >= 1, so binary search applies. The upper
 // bound is the sum of internal edge latencies: any cycle's latency is at
-// most that sum while its distance is at least 1.
+// most that sum while its distance is at least 1. The node-position
+// table and the Floyd–Warshall matrix are allocated once and reused by
+// every probe of the binary search.
 func sccMinII(g *ir.Graph, scc []int) (int, error) {
+	pos := make([]int, g.NumNodes())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range scc {
+		pos[v] = i
+	}
 	latSum := 0
 	for _, v := range scc {
 		for _, e := range g.Succs(v) {
-			if inSCC(scc, e.To) {
+			if pos[e.To] >= 0 {
 				latSum += e.Latency
 			}
 		}
 	}
+	k := len(scc)
+	dist := make([]int64, k*k)
 	hi := latSum
 	if hi < 1 {
 		hi = 1
 	}
-	if !sccFeasible(g, scc, hi) {
+	if !sccFeasible(g, scc, pos, dist, hi) {
 		return 0, fmt.Errorf("sched: recurrence over %v unsatisfiable at II=%d (distance-0 cycle?)", scc, hi)
 	}
 	lo := 1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if sccFeasible(g, scc, mid) {
+		if sccFeasible(g, scc, pos, dist, mid) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -216,61 +227,46 @@ func sccMinII(g *ir.Graph, scc []int) (int, error) {
 
 // sccFeasible reports whether, at the given II, the component has no
 // positive-weight cycle under edge weights latency - II*distance. It runs
-// a Floyd–Warshall longest-path pass restricted to the component.
-func sccFeasible(g *ir.Graph, scc []int, ii int) bool {
+// a Floyd–Warshall longest-path pass restricted to the component over
+// the caller's k×k scratch matrix (dist) and node-position table (pos,
+// -1 outside the component).
+func sccFeasible(g *ir.Graph, scc []int, pos []int, dist []int64, ii int) bool {
 	const negInf = -1 << 40
 	k := len(scc)
-	pos := map[int]int{}
-	for i, v := range scc {
-		pos[v] = i
-	}
-	dist := make([][]int64, k)
 	for i := range dist {
-		dist[i] = make([]int64, k)
-		for j := range dist[i] {
-			dist[i][j] = negInf
-		}
+		dist[i] = negInf
 	}
 	for _, v := range scc {
 		for _, e := range g.Succs(v) {
-			j, ok := pos[e.To]
-			if !ok {
+			j := pos[e.To]
+			if j < 0 {
 				continue
 			}
 			w := int64(e.Latency - ii*e.Distance)
-			if w > dist[pos[v]][j] {
-				dist[pos[v]][j] = w
+			if w > dist[pos[v]*k+j] {
+				dist[pos[v]*k+j] = w
 			}
 		}
 	}
 	for m := 0; m < k; m++ {
 		for i := 0; i < k; i++ {
-			if dist[i][m] == negInf {
+			if dist[i*k+m] == negInf {
 				continue
 			}
 			for j := 0; j < k; j++ {
-				if dist[m][j] == negInf {
+				if dist[m*k+j] == negInf {
 					continue
 				}
-				if d := dist[i][m] + dist[m][j]; d > dist[i][j] {
-					dist[i][j] = d
+				if d := dist[i*k+m] + dist[m*k+j]; d > dist[i*k+j] {
+					dist[i*k+j] = d
 				}
 			}
 		}
 	}
 	for i := 0; i < k; i++ {
-		if dist[i][i] > 0 {
+		if dist[i*k+i] > 0 {
 			return false
 		}
 	}
 	return true
-}
-
-func inSCC(scc []int, v int) bool {
-	for _, u := range scc {
-		if u == v {
-			return true
-		}
-	}
-	return false
 }

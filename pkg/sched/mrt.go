@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
@@ -15,6 +17,14 @@ import (
 // backtracking schedulers (the paper's MIRS ejects and reschedules
 // operations) can undo reservations.
 //
+// The table is dense: occupancy lives in one flat array indexed by
+// (unit, cycle mod II) with a per-(cluster, cycle) bitset of busy slots,
+// and the unit-preference order FreeSlot scans is precomputed per
+// (cluster, op class) when the table is created. Probe, place and release
+// are O(1) in allocations — nothing on the steady-state placement path
+// touches the heap — and Reset lets a scheduler reuse one table (and its
+// machine-derived lookup tables) across an entire II search.
+//
 // Buses are MRT resources too: every cross-cluster true dependence needs
 // one bus at the cycle the value leaves the producer, and at most
 // Machine.BusCount() transfers fit per cycle. A producer broadcasting one
@@ -24,22 +34,38 @@ import (
 type MRT struct {
 	mach *machine.Machine
 	ii   int
-	// slots[cluster][slot][cycle mod ii] holds the occupying instruction
-	// ID, or -1 when free.
-	slots [][][]int
+
+	// occ is the flat occupancy array: occ[(unitBase[cluster]+slot)*ii +
+	// cycle] holds the occupying instruction ID, or -1 when free. Rows are
+	// re-sliced from one backing array on Reset.
+	occ []int32
+	// unitBase[cluster] is the global index of the cluster's slot 0.
+	unitBase []int
+	// busy[cluster*ii+cycle] is the bitset of occupied slots (bit i = slot
+	// i) for the first 64 slots of the cluster; wider clusters fall back
+	// to reading occ directly.
+	busy []uint64
+	// pref[class][cluster] lists the cluster's unit indices supporting the
+	// class, least flexible first (fewest supported classes, ties by
+	// index) — the order FreeSlot probes, so multi-class units stay
+	// available for operations with no alternative.
+	pref map[machine.OpClass][][]uint16
+	// lastClass/lastPref memoise the most recent pref lookup; placement
+	// loops probe many cycles for one instruction, so the class repeats.
+	lastClass machine.OpClass
+	lastPref  [][]uint16
 
 	busCap  int
-	busUsed []int // transfers per cycle mod ii
-	busRef  map[transferKey]*busRes
+	busUsed []int      // transfers per cycle mod ii
+	busRefs []busEntry // live transfers; linear scan (transfer counts are small)
+	prods   []int      // scratch for TransferProducersAt
 }
 
-type transferKey struct {
-	from int
-	reg  ir.VReg
-	dest int
-}
-
-type busRes struct {
+// busEntry is one reference-counted transfer occupying a bus.
+type busEntry struct {
+	from  int
+	reg   ir.VReg
+	dest  int
 	cycle int // mod ii
 	refs  int // dependence edges sharing this transfer
 }
@@ -49,10 +75,80 @@ type busRes struct {
 // cycle the value is available, i.e. the producer's issue cycle plus its
 // result latency).
 type Transfer struct {
-	From  int
-	Reg   ir.VReg
-	Dest  int
+	// From is the producing instruction's ID.
+	From int
+	// Reg is the register carrying the transferred value.
+	Reg ir.VReg
+	// Dest is the destination cluster index.
+	Dest int
+	// Cycle is the flat cycle the value occupies a bus (folded mod II).
 	Cycle int
+}
+
+// mrtTable holds the immutable machine-derived lookup tables every MRT
+// over one machine shares: the global unit index base per cluster and
+// the per-class unit preference orders. Cached per *Machine — drivers
+// reuse a handful of machine values across thousands of compilations,
+// so the derivation runs once per machine, not once per table. The
+// cache is bounded (mrtTableCacheCap): a process sweeping unboundedly
+// many distinct machine values falls back to building tables per call
+// instead of pinning every Machine forever. Mutating a Machine after
+// its first NewMRT is not supported (cached tables would go stale).
+type mrtTable struct {
+	unitBase []int
+	pref     map[machine.OpClass][][]uint16
+	busCap   int
+}
+
+// mrtTableCacheCap bounds mrtTables. Far above any realistic canned
+// machine set, far below a leak.
+const mrtTableCacheCap = 128
+
+var (
+	mrtTables     sync.Map // *machine.Machine -> *mrtTable
+	mrtTableCount atomic.Int32
+)
+
+func tablesFor(m *machine.Machine) *mrtTable {
+	if v, ok := mrtTables.Load(m); ok {
+		return v.(*mrtTable)
+	}
+	t := &mrtTable{
+		busCap:   m.BusCount(),
+		unitBase: make([]int, m.NumClusters()+1),
+		pref:     map[machine.OpClass][][]uint16{},
+	}
+	base := 0
+	for ci := range m.Clusters {
+		t.unitBase[ci] = base
+		base += len(m.Clusters[ci].Units)
+	}
+	t.unitBase[m.NumClusters()] = base
+	for _, class := range m.Classes() {
+		byCluster := make([][]uint16, m.NumClusters())
+		for ci := range m.Clusters {
+			units := m.Clusters[ci].Units
+			var order []uint16
+			for ui := range units {
+				if units[ui].Supports(class) {
+					order = append(order, uint16(ui))
+				}
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return len(units[order[a]].Classes) < len(units[order[b]].Classes)
+			})
+			byCluster[ci] = order
+		}
+		t.pref[class] = byCluster
+	}
+	if mrtTableCount.Load() >= mrtTableCacheCap {
+		return t // cache full: hand back an uncached table
+	}
+	v, loaded := mrtTables.LoadOrStore(m, t)
+	if !loaded {
+		mrtTableCount.Add(1)
+	}
+	return v.(*mrtTable)
 }
 
 // NewMRT returns an empty reservation table for machine m at the given II.
@@ -60,25 +156,52 @@ func NewMRT(m *machine.Machine, ii int) (*MRT, error) {
 	if ii < 1 {
 		return nil, fmt.Errorf("sched: MRT with II %d < 1", ii)
 	}
+	tab := tablesFor(m)
 	t := &MRT{
-		mach:    m,
-		ii:      ii,
-		slots:   make([][][]int, m.NumClusters()),
-		busCap:  m.BusCount(),
-		busUsed: make([]int, ii),
-		busRef:  map[transferKey]*busRes{},
+		mach:     m,
+		busCap:   tab.busCap,
+		unitBase: tab.unitBase,
+		pref:     tab.pref,
 	}
-	for ci := range m.Clusters {
-		t.slots[ci] = make([][]int, len(m.Clusters[ci].Units))
-		for ui := range m.Clusters[ci].Units {
-			row := make([]int, ii)
-			for c := range row {
-				row[c] = -1
-			}
-			t.slots[ci][ui] = row
+	t.Reset(ii)
+	return t, nil
+}
+
+// Reset empties the table and retargets it to a (possibly different) II,
+// reusing the backing arrays and the machine-derived lookup tables. It is
+// how II-search loops keep the steady-state placement path allocation
+// free: one NewMRT per schedule request, one Reset per candidate II.
+func (t *MRT) Reset(ii int) {
+	if ii < 1 {
+		panic(fmt.Sprintf("sched: MRT reset to II %d < 1", ii))
+	}
+	t.ii = ii
+	nUnits := t.unitBase[len(t.unitBase)-1]
+	if need := nUnits * ii; cap(t.occ) < need {
+		t.occ = make([]int32, need)
+	} else {
+		t.occ = t.occ[:need]
+	}
+	for i := range t.occ {
+		t.occ[i] = -1
+	}
+	if need := t.mach.NumClusters() * ii; cap(t.busy) < need {
+		t.busy = make([]uint64, need)
+	} else {
+		t.busy = t.busy[:need]
+		for i := range t.busy {
+			t.busy[i] = 0
 		}
 	}
-	return t, nil
+	if cap(t.busUsed) < ii {
+		t.busUsed = make([]int, ii)
+	} else {
+		t.busUsed = t.busUsed[:ii]
+		for i := range t.busUsed {
+			t.busUsed[i] = 0
+		}
+	}
+	t.busRefs = t.busRefs[:0]
 }
 
 // II returns the table's initiation interval.
@@ -89,17 +212,21 @@ func (t *MRT) mod(cycle int) int { return ((cycle % t.ii) + t.ii) % t.ii }
 // At returns the instruction occupying (cluster, slot, cycle mod II), or
 // -1 when the slot is free.
 func (t *MRT) At(cluster, slot, cycle int) int {
-	return t.slots[cluster][slot][t.mod(cycle)]
+	return int(t.occ[(t.unitBase[cluster]+slot)*t.ii+t.mod(cycle)])
 }
 
 // Reserve claims (cluster, slot, cycle mod II) for instruction id. It
 // fails if the slot is already taken.
 func (t *MRT) Reserve(cluster, slot, cycle, id int) error {
 	c := t.mod(cycle)
-	if cur := t.slots[cluster][slot][c]; cur != -1 {
+	i := (t.unitBase[cluster]+slot)*t.ii + c
+	if cur := t.occ[i]; cur != -1 {
 		return fmt.Errorf("sched: cluster %d slot %d cycle %d already holds instruction %d", cluster, slot, c, cur)
 	}
-	t.slots[cluster][slot][c] = id
+	t.occ[i] = int32(id)
+	if slot < 64 {
+		t.busy[cluster*t.ii+c] |= 1 << uint(slot)
+	}
 	return nil
 }
 
@@ -107,9 +234,13 @@ func (t *MRT) Reserve(cluster, slot, cycle, id int) error {
 // instruction ID or -1 if the slot was already free.
 func (t *MRT) Release(cluster, slot, cycle int) int {
 	c := t.mod(cycle)
-	id := t.slots[cluster][slot][c]
-	t.slots[cluster][slot][c] = -1
-	return id
+	i := (t.unitBase[cluster]+slot)*t.ii + c
+	id := t.occ[i]
+	t.occ[i] = -1
+	if slot < 64 {
+		t.busy[cluster*t.ii+c] &^= 1 << uint(slot)
+	}
+	return int(id)
 }
 
 // FreeSlot returns a free slot on the given cluster at the given cycle
@@ -118,23 +249,40 @@ func (t *MRT) Release(cluster, slot, cycle int) int {
 // unit (fewest supported classes, ties by index), so that multi-class
 // units stay available for the operations that have no alternative —
 // e.g. plain ALU ops avoid the one ALU slot that can also issue the
-// branch.
+// branch. The preference order is precomputed; the probe itself is a
+// bitset test per candidate unit.
 func (t *MRT) FreeSlot(cluster, cycle int, class machine.OpClass) (slot int, ok bool) {
-	c := t.mod(cycle)
-	units := t.mach.Clusters[cluster].Units
-	best, bestClasses := -1, 0
-	for ui := range units {
-		if t.slots[cluster][ui][c] != -1 || !units[ui].Supports(class) {
-			continue
-		}
-		if best == -1 || len(units[ui].Classes) < bestClasses {
-			best, bestClasses = ui, len(units[ui].Classes)
-		}
+	if class != t.lastClass || t.lastPref == nil {
+		t.lastClass, t.lastPref = class, t.pref[class]
 	}
-	if best == -1 {
+	if t.lastPref == nil {
 		return 0, false
 	}
-	return best, true
+	c := t.mod(cycle)
+	busy := t.busy[cluster*t.ii+c]
+	base := t.unitBase[cluster] * t.ii
+	for _, ui := range t.lastPref[cluster] {
+		if ui < 64 {
+			if busy&(1<<uint(ui)) == 0 {
+				return int(ui), true
+			}
+		} else if t.occ[base+int(ui)*t.ii+c] == -1 {
+			return int(ui), true
+		}
+	}
+	return 0, false
+}
+
+// findTransfer returns the index of the live transfer with the given key,
+// or -1. Linear scan: a kernel carries at most busCap*II transfers.
+func (t *MRT) findTransfer(from int, reg ir.VReg, dest int) int {
+	for i := range t.busRefs {
+		e := &t.busRefs[i]
+		if e.from == from && e.reg == reg && e.dest == dest {
+			return i
+		}
+	}
+	return -1
 }
 
 // AddTransfer reserves bus bandwidth for one cross-cluster dependence
@@ -143,9 +291,8 @@ func (t *MRT) FreeSlot(cluster, cycle int, class machine.OpClass) (slot int, ok 
 // bus; subsequent calls just bump its reference count. It fails when the
 // transfer's cycle row has no bus left.
 func (t *MRT) AddTransfer(tr Transfer) error {
-	k := transferKey{tr.From, tr.Reg, tr.Dest}
-	if r := t.busRef[k]; r != nil {
-		r.refs++
+	if i := t.findTransfer(tr.From, tr.Reg, tr.Dest); i >= 0 {
+		t.busRefs[i].refs++
 		return nil
 	}
 	c := t.mod(tr.Cycle)
@@ -154,7 +301,7 @@ func (t *MRT) AddTransfer(tr Transfer) error {
 			t.busCap, c, t.ii, tr.Reg, tr.From, tr.Dest)
 	}
 	t.busUsed[c]++
-	t.busRef[k] = &busRes{cycle: c, refs: 1}
+	t.busRefs = append(t.busRefs, busEntry{from: tr.From, reg: tr.Reg, dest: tr.Dest, cycle: c, refs: 1})
 	return nil
 }
 
@@ -179,15 +326,16 @@ func (t *MRT) AddTransfers(trs []Transfer) (Transfer, error) {
 // edge lets go the bus slot is freed. Removing an unknown transfer is a
 // no-op so ejection paths can be written symmetrically to placement.
 func (t *MRT) RemoveTransfer(from int, reg ir.VReg, dest int) {
-	k := transferKey{from, reg, dest}
-	r := t.busRef[k]
-	if r == nil {
+	i := t.findTransfer(from, reg, dest)
+	if i < 0 {
 		return
 	}
-	r.refs--
-	if r.refs == 0 {
-		t.busUsed[r.cycle]--
-		delete(t.busRef, k)
+	t.busRefs[i].refs--
+	if t.busRefs[i].refs == 0 {
+		t.busUsed[t.busRefs[i].cycle]--
+		last := len(t.busRefs) - 1
+		t.busRefs[i] = t.busRefs[last]
+		t.busRefs = t.busRefs[:last]
 	}
 }
 
@@ -201,16 +349,25 @@ func (t *MRT) BusCap() int { return t.busCap }
 // TransferProducersAt returns the producer instruction IDs of the
 // transfers occupying buses at the given cycle (mod II), in ascending
 // order. Backtracking schedulers eject one of these to free bandwidth.
+// The returned slice is a scratch buffer owned by the table; it is
+// invalidated by the next call.
 func (t *MRT) TransferProducersAt(cycle int) []int {
 	c := t.mod(cycle)
-	seen := map[int]bool{}
-	var out []int
-	for k, r := range t.busRef {
-		if r.cycle == c && !seen[k.from] {
-			seen[k.from] = true
-			out = append(out, k.from)
+	out := t.prods[:0]
+	for i := range t.busRefs {
+		if t.busRefs[i].cycle == c {
+			out = append(out, t.busRefs[i].from)
 		}
 	}
 	sort.Ints(out)
-	return out
+	// Compact duplicates (several transfers can share a producer).
+	n := 0
+	for i, p := range out {
+		if i == 0 || p != out[n-1] {
+			out[n] = p
+			n++
+		}
+	}
+	t.prods = out[:n]
+	return t.prods
 }

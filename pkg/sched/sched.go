@@ -197,7 +197,18 @@ func (s *Schedule) Validate() error {
 	if len(s.Placements) != n {
 		return fmt.Errorf("sched: %d placements for %d instructions", len(s.Placements), n)
 	}
-	occupied := map[[3]int]int{} // (cluster, slot, cycle mod II) -> id
+	// Dense occupancy check: one flat (unit, cycle mod II) array instead
+	// of a map — Validate runs several times per compilation (after
+	// every II attempt, inside the pressure analysis), so its constant
+	// cost matters.
+	totalUnits := 0
+	for ci := range s.Machine.Clusters {
+		totalUnits += len(s.Machine.Clusters[ci].Units)
+	}
+	occupied := make([]int32, totalUnits*s.II)
+	for i := range occupied {
+		occupied[i] = -1
+	}
 	for id, p := range s.Placements {
 		in := s.Loop.Instrs[id]
 		if p.Cycle < 0 {
@@ -215,12 +226,16 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: instruction %d (%s, class %q) on unit %q.%q which does not support it",
 				id, in.Op, in.Class, cl.Name, fu.Name)
 		}
-		key := [3]int{p.Cluster, p.Slot, p.Cycle % s.II}
-		if other, clash := occupied[key]; clash {
+		unit := p.Slot
+		for ci := 0; ci < p.Cluster; ci++ {
+			unit += len(s.Machine.Clusters[ci].Units)
+		}
+		key := unit*s.II + p.Cycle%s.II
+		if other := occupied[key]; other != -1 {
 			return fmt.Errorf("sched: instructions %d and %d both occupy cluster %d slot %d cycle %d (mod II=%d)",
 				other, id, p.Cluster, p.Slot, p.Cycle%s.II, s.II)
 		}
-		occupied[key] = id
+		occupied[key] = int32(id)
 	}
 	for i := range s.Graph.Edges {
 		e := &s.Graph.Edges[i]
@@ -232,20 +247,26 @@ func (s *Schedule) Validate() error {
 	}
 	// Bus bandwidth: distinct transfers per (producer, register,
 	// destination cluster), each claiming a bus at the cycle the value
-	// leaves the producer.
+	// leaves the producer. The tracking maps are allocated lazily — a
+	// single-cluster placement (the common case on unified machines)
+	// never crosses clusters and pays nothing here.
 	type xfer struct {
 		from int
 		reg  ir.VReg
 		dest int
 	}
-	seen := map[xfer]bool{}
-	busAt := map[int]int{}
+	var seen map[xfer]bool
+	var busAt []int
 	for i := range s.Graph.Edges {
 		e := &s.Graph.Edges[i]
 		if e.Kind != ir.DepTrue || s.Placements[e.From].Cluster == s.Placements[e.To].Cluster {
 			continue
 		}
 		k := xfer{e.From, e.Reg, s.Placements[e.To].Cluster}
+		if seen == nil {
+			seen = map[xfer]bool{}
+			busAt = make([]int, s.II)
+		}
 		if seen[k] {
 			continue
 		}

@@ -91,22 +91,136 @@ func TransferCycle(m *machine.Machine, loop *ir.Loop, plc []Placement, from int)
 // consumers can be placed before their producer, so both directions
 // matter.
 func PlacementTransfers(g *ir.Graph, m *machine.Machine, loop *ir.Loop, plc []Placement, placed []bool, id, cluster, cycle int) []Transfer {
-	var trs []Transfer
+	return AppendPlacementTransfers(nil, g, m, loop, plc, placed, id, cluster, cycle)
+}
+
+// AppendPlacementTransfers is PlacementTransfers appending into dst
+// (which may be a truncated scratch buffer, dst[:0]) so placement loops
+// probing many candidate positions reuse one allocation instead of
+// allocating per probe.
+func AppendPlacementTransfers(dst []Transfer, g *ir.Graph, m *machine.Machine, loop *ir.Loop, plc []Placement, placed []bool, id, cluster, cycle int) []Transfer {
 	for _, e := range g.Preds(id) {
 		if e.Kind != ir.DepTrue || e.From == id || !placed[e.From] || plc[e.From].Cluster == cluster {
 			continue
 		}
-		trs = append(trs, Transfer{From: e.From, Reg: e.Reg, Dest: cluster,
+		dst = append(dst, Transfer{From: e.From, Reg: e.Reg, Dest: cluster,
 			Cycle: TransferCycle(m, loop, plc, e.From)})
 	}
 	for _, e := range g.Succs(id) {
 		if e.Kind != ir.DepTrue || e.To == id || !placed[e.To] || plc[e.To].Cluster == cluster {
 			continue
 		}
-		trs = append(trs, Transfer{From: id, Reg: e.Reg, Dest: plc[e.To].Cluster,
+		dst = append(dst, Transfer{From: id, Reg: e.Reg, Dest: plc[e.To].Cluster,
 			Cycle: cycle + m.Latency(loop.Instrs[id].Class)})
 	}
-	return trs
+	return dst
+}
+
+// WindowCache memoises EarliestStart/LatestStart scans per (instruction,
+// cluster) for a backtracking scheduler. The scans are pure functions of
+// the placements of the instruction's direct dependence neighbours, so
+// instead of recomputing them on every probe the cache keeps the last
+// result and invalidates only what a placement change can affect:
+// Invalidate(x) clears the cached windows of every neighbour of x (an
+// instruction's own window does not depend on its own placement, but x
+// is cleared too, which is merely a spare recomputation).
+//
+// The contract, which the differential and scheduler tests pin: any
+// sequence of Invalidate calls covering every placement mutation (place,
+// eject, force) yields bit-identical EarliestStart/Window results to the
+// uncached functions. Mutating a placement without Invalidate is a bug.
+type WindowCache struct {
+	g  *ir.Graph
+	m  *machine.Machine
+	ii int
+	nc int
+	// est/lst/bounded are indexed id*nc+cluster; estOK/lstOK say whether
+	// the entry is current.
+	est, lst     []int32
+	bounded      []bool
+	estOK, lstOK []bool
+}
+
+// NewWindowCache returns an empty cache for graph g on machine m at the
+// given II. Reset retargets it; Invalidate keeps it current.
+func NewWindowCache(g *ir.Graph, m *machine.Machine, ii int) *WindowCache {
+	wc := &WindowCache{}
+	wc.Reset(g, m, ii)
+	return wc
+}
+
+// Reset rebinds the cache to a (possibly new) graph and II and clears
+// every entry, reusing the backing arrays when the shape allows. Call it
+// at the start of each candidate II and whenever the graph is swapped
+// (e.g. after spill materialisation renumbers instructions).
+func (wc *WindowCache) Reset(g *ir.Graph, m *machine.Machine, ii int) {
+	wc.g, wc.m, wc.ii, wc.nc = g, m, ii, m.NumClusters()
+	need := g.NumNodes() * wc.nc
+	if cap(wc.est) < need {
+		wc.est = make([]int32, need)
+		wc.lst = make([]int32, need)
+		wc.bounded = make([]bool, need)
+		wc.estOK = make([]bool, need)
+		wc.lstOK = make([]bool, need)
+	} else {
+		wc.est = wc.est[:need]
+		wc.lst = wc.lst[:need]
+		wc.bounded = wc.bounded[:need]
+		wc.estOK = wc.estOK[:need]
+		wc.lstOK = wc.lstOK[:need]
+		for i := range wc.estOK {
+			wc.estOK[i] = false
+			wc.lstOK[i] = false
+		}
+	}
+}
+
+// Invalidate clears the cached windows affected by a change to x's
+// placement: every dependence neighbour of x, and x itself.
+func (wc *WindowCache) Invalidate(x int) {
+	wc.invalidateOne(x)
+	for _, e := range wc.g.Succs(x) {
+		wc.invalidateOne(e.To)
+	}
+	for _, e := range wc.g.Preds(x) {
+		wc.invalidateOne(e.From)
+	}
+}
+
+func (wc *WindowCache) invalidateOne(id int) {
+	base := id * wc.nc
+	for c := 0; c < wc.nc; c++ {
+		wc.estOK[base+c] = false
+		wc.lstOK[base+c] = false
+	}
+}
+
+// EarliestStart is the memoised EarliestStart scan.
+func (wc *WindowCache) EarliestStart(plc []Placement, placed []bool, id, cluster int) int {
+	i := id*wc.nc + cluster
+	if !wc.estOK[i] {
+		wc.est[i] = int32(EarliestStart(wc.g, wc.m, plc, placed, wc.ii, id, cluster))
+		wc.estOK[i] = true
+	}
+	return int(wc.est[i])
+}
+
+// Window is the memoised Window scan: the inclusive [est, lst] interval
+// instruction id may occupy on cluster, lst capped at est+II-1 when no
+// placed successor bounds it.
+func (wc *WindowCache) Window(plc []Placement, placed []bool, id, cluster int) (est, lst int) {
+	est = wc.EarliestStart(plc, placed, id, cluster)
+	i := id*wc.nc + cluster
+	if !wc.lstOK[i] {
+		l, bounded := LatestStart(wc.g, wc.m, plc, placed, wc.ii, id, cluster)
+		wc.lst[i], wc.bounded[i] = int32(l), bounded
+		wc.lstOK[i] = true
+	}
+	lst = int(wc.lst[i])
+	if !wc.bounded[i] || lst > est+wc.ii-1 {
+		lst = est + wc.ii - 1
+	}
+	return est, lst
 }
 
 // Heights returns, per instruction, the classic list-scheduling priority:

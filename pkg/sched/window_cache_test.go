@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/gen"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// TestWindowCacheDifferential pins the memoisation contract: under any
+// interleaving of placement mutations (each followed by Invalidate, as
+// the schedulers do) and queries — including repeated queries that hit
+// the cache — WindowCache must return bit-identical results to the
+// uncached EarliestStart/Window scans.
+func TestWindowCacheDifferential(t *testing.T) {
+	machines := []*machine.Machine{machine.Unified(), machine.Paper4Cluster()}
+	for mi, m := range machines {
+		for li, loop := range gen.Corpus(17, 10) {
+			g, err := ir.Build(loop, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.NumNodes()
+			nc := m.NumClusters()
+			for _, ii := range []int{2, 4, 9} {
+				wc := NewWindowCache(g, m, ii)
+				plc := make([]Placement, n)
+				placed := make([]bool, n)
+				rng := diffRNG(uint64(mi*1000+li*10) + uint64(ii))
+				for op := 0; op < 30*n; op++ {
+					if rng.intn(3) == 0 { // mutate a placement
+						id := rng.intn(n)
+						if placed[id] {
+							placed[id] = false
+						} else {
+							plc[id] = Placement{
+								Cycle:   rng.intn(4 * ii),
+								Cluster: rng.intn(nc),
+								Slot:    0,
+							}
+							placed[id] = true
+						}
+						wc.Invalidate(id)
+						continue
+					}
+					id, cl := rng.intn(n), rng.intn(nc)
+					// Query twice: a (likely) miss then a guaranteed hit.
+					for k := 0; k < 2; k++ {
+						gotEst := wc.EarliestStart(plc, placed, id, cl)
+						wantEst := EarliestStart(g, m, plc, placed, ii, id, cl)
+						if gotEst != wantEst {
+							t.Fatalf("EarliestStart(%d, cl %d) = %d, want %d [loop %s, %s, II=%d, query %d]",
+								id, cl, gotEst, wantEst, loop.Name, m.Name, ii, k)
+						}
+						ge, gl := wc.Window(plc, placed, id, cl)
+						we, wl := Window(g, m, plc, placed, ii, id, cl)
+						if ge != we || gl != wl {
+							t.Fatalf("Window(%d, cl %d) = [%d,%d], want [%d,%d] [loop %s, %s, II=%d]",
+								id, cl, ge, gl, we, wl, loop.Name, m.Name, ii)
+						}
+					}
+				}
+				// Reset drops every entry: stale results surviving a reset
+				// would corrupt the next candidate II.
+				wc.Reset(g, m, ii+1)
+				for id := 0; id < n; id++ {
+					for cl := 0; cl < nc; cl++ {
+						ge, gl := wc.Window(plc, placed, id, cl)
+						we, wl := Window(g, m, plc, placed, ii+1, id, cl)
+						if ge != we || gl != wl {
+							t.Fatalf("post-Reset Window(%d, cl %d) = [%d,%d], want [%d,%d]", id, cl, ge, gl, we, wl)
+						}
+					}
+				}
+			}
+		}
+	}
+}
