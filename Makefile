@@ -2,7 +2,7 @@
 # here is a thin wrapper over go / msched invocations, so CI and humans
 # run the identical commands.
 
-.PHONY: all build test race bench bench-placement profile compare baseline lint fmt
+.PHONY: all build test race bench bench-placement profile compare baseline serve loadtest lint fmt
 
 all: build test
 
@@ -42,6 +42,17 @@ compare:
 # change; commit the result.
 baseline:
 	go run ./cmd/msched compare -update-baseline
+
+# Run the HTTP/JSON scheduling service locally (content-addressed
+# cache, singleflight collapse, 429 load shedding); see README
+# "Serving" for the curl quickstart.
+serve:
+	go run ./cmd/msched serve
+
+# Deterministic closed-loop load test against an in-process server,
+# gated against the committed thresholds — the same command CI runs.
+loadtest:
+	go run ./cmd/msched loadtest -o loadtest.json -gate LOADTEST_baseline.json
 
 lint:
 	golangci-lint run

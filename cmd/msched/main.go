@@ -63,6 +63,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return cmdGen(args[1:], stdout, stderr)
 	case "compare":
 		return cmdCompare(args[1:], stdout, stderr)
+	case "serve":
+		return cmdServe(args[1:], stdout, stderr)
+	case "loadtest":
+		return cmdLoadtest(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -74,20 +78,26 @@ func Main(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprint(w, `usage: msched <run|gen|compare> [flags]
+	fmt.Fprint(w, `usage: msched <run|gen|compare|serve|loadtest> [flags]
 
-  run      generate a loop population and batch-compile it across
-           backends x machines; emit aggregate quality tables
-  gen      print generated loops
-  compare  gate current scheduler quality against BENCH_baseline.json
-           (-update-baseline to refresh it)
+  run       generate a loop population and batch-compile it across
+            backends x machines; emit aggregate quality tables
+  gen       print generated loops
+  compare   gate current scheduler quality against BENCH_baseline.json
+            (-update-baseline to refresh it)
+  serve     run the HTTP/JSON scheduling service (content-addressed
+            cache, singleflight, load shedding)
+  loadtest  drive an in-process server with a deterministic closed
+            loop and emit/gate the load report
 
 run 'msched <cmd> -h' for per-command flags
 `)
 }
 
 // machinesByName resolves a comma-separated machine list. "all" expands
-// to every canned configuration.
+// to every canned configuration; an entry ending in .json is loaded and
+// validated as a machine description file, so a malformed file fails
+// the command with a clear message instead of a panic or empty report.
 func machinesByName(spec string) ([]*machine.Machine, error) {
 	canned := map[string]func() *machine.Machine{
 		"unified":        machine.Unified,
@@ -99,9 +109,18 @@ func machinesByName(spec string) ([]*machine.Machine, error) {
 	}
 	var out []*machine.Machine
 	for _, name := range strings.Split(spec, ",") {
-		f, ok := canned[strings.TrimSpace(name)]
+		name = strings.TrimSpace(name)
+		if strings.HasSuffix(name, ".json") {
+			m, err := machineFromFile(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+			continue
+		}
+		f, ok := canned[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown machine %q (have: unified, paper-4cluster, tight, all)", name)
+			return nil, fmt.Errorf("unknown machine %q (have: unified, paper-4cluster, tight, all, or a .json file)", name)
 		}
 		out = append(out, f())
 	}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// TestMalformedMachineFileFails is the regression test for the failure
+// mode where a bad machine description used to slip through as a panic
+// or an empty report: every subcommand that takes machines must exit
+// non-zero with a message naming the file and the parse problem.
+func TestMalformedMachineFileFails(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `{"name": "broken", "clusters": [`,
+		"notjson.json":   `this is not json at all`,
+		"invalid.json":   `{"name": "empty"}`, // parses, but validates empty (no clusters)
+	}
+	for file, content := range cases {
+		path := filepath.Join(dir, file)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, args := range [][]string{
+			{"run", "-seed", "1", "-n", "1", "-machines", path},
+			{"serve", "-machine-file", path},
+		} {
+			code, _, errOut := capture(t, args...)
+			if code == 0 {
+				t.Errorf("msched %s accepted malformed machine %s", args[0], file)
+			}
+			if !strings.Contains(errOut, file) {
+				t.Errorf("msched %s error does not name the file %s: %q", args[0], file, errOut)
+			}
+		}
+	}
+	// Missing file: same contract.
+	missing := filepath.Join(dir, "missing.json")
+	if code, _, errOut := capture(t, "run", "-machines", missing); code == 0 || !strings.Contains(errOut, "missing.json") {
+		t.Errorf("missing machine file not reported: code %d, stderr %q", code, errOut)
+	}
+}
+
+// TestRunWithMachineFile checks the happy path: a valid machine JSON
+// file participates in a run exactly like a canned machine.
+func TestRunWithMachineFile(t *testing.T) {
+	data, err := machine.Unified().ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := capture(t, "run", "-seed", "1", "-n", "2", "-backends", "list", "-machines", path)
+	if code != 0 {
+		t.Fatalf("run with machine file failed (%d): %s", code, errOut)
+	}
+	if !strings.Contains(out, "2 loops") {
+		t.Fatalf("run summary missing: %s", out)
+	}
+}
+
+func TestLoadtestDeterministicReportAndGate(t *testing.T) {
+	dir := t.TempDir()
+	outA := filepath.Join(dir, "a.json")
+	outB := filepath.Join(dir, "b.json")
+	args := []string{"loadtest", "-seed", "7", "-requests", "40", "-unique", "5",
+		"-clients", "4", "-burst", "4", "-backend", "list", "-o"}
+	if code, _, errOut := capture(t, append(args, outA)...); code != 0 {
+		t.Fatalf("loadtest run A failed: %s", errOut)
+	}
+	if code, _, errOut := capture(t, append(args, outB)...); code != 0 {
+		t.Fatalf("loadtest run B failed: %s", errOut)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("loadtest artifacts differ across identical runs:\n%s\nvs\n%s", a, b)
+	}
+
+	// Gate the run against matching thresholds, then against an
+	// impossible floor.
+	thresholds := filepath.Join(dir, "thresholds.json")
+	good := map[string]any{
+		"requests": 40, "unique_loops": 5, "min_hit_rate": 0.85,
+		"exact_compilations": 5, "exact_burst_compilations": 1, "min_burst_coalesced": 3,
+	}
+	writeJSON(t, thresholds, good)
+	if code, out, errOut := capture(t, append(args, outA, "-gate", thresholds)...); code != 0 || !strings.Contains(out, "load gate clean") {
+		t.Fatalf("clean gate failed (%d): %s%s", code, out, errOut)
+	}
+	good["min_hit_rate"] = 1.0
+	writeJSON(t, thresholds, good)
+	if code, _, errOut := capture(t, append(args, outA, "-gate", thresholds)...); code == 0 || !strings.Contains(errOut, "VIOLATION") {
+		t.Fatalf("impossible gate passed (%d): %s", code, errOut)
+	}
+}
+
+func TestLoadtestBadFlags(t *testing.T) {
+	if code, _, _ := capture(t, "loadtest", "-requests", "1", "-unique", "5"); code == 0 {
+		t.Error("requests < unique accepted")
+	}
+	if code, _, errOut := capture(t, "loadtest", "-gate", "no-such-thresholds.json",
+		"-requests", "5", "-unique", "5", "-backend", "list"); code == 0 || !strings.Contains(errOut, "no-such-thresholds.json") {
+		t.Error("missing thresholds file accepted")
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

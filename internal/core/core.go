@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -79,14 +80,17 @@ func Backends() []sched.Scheduler {
 	return []sched.Scheduler{sched.ListScheduler{}, mirs.New()}
 }
 
-// CompileSafe is CompileWith with panic isolation: a panicking backend
-// (or analysis layer) is converted into an ordinary per-loop error
-// instead of taking down the caller. This is the non-fatal error path
-// batch drivers compile untrusted or generated populations through —
-// one pathological loop must cost one result, not the whole sweep. The
-// error carries the recovered value and a trimmed stack so shaken-out
-// bugs stay diagnosable from a batch report.
-func CompileSafe(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (r *Result, err error) {
+// CompileSafe is CompileWithContext with panic isolation: a panicking
+// backend (or analysis layer) is converted into an ordinary per-loop
+// error instead of taking down the caller. This is the non-fatal error
+// path batch drivers and the serving layer compile untrusted or
+// generated populations through — one pathological loop must cost one
+// result, not the whole sweep. The error carries the recovered value
+// and a trimmed stack so shaken-out bugs stay diagnosable from a batch
+// report. Cancelling ctx (deadline or explicit) aborts the in-flight
+// compilation at the backend's next II checkpoint; the returned error
+// then wraps ctx.Err(), so callers classify timeouts with errors.Is.
+func CompileSafe(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *machine.Machine) (r *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			stack := debug.Stack()
@@ -96,17 +100,30 @@ func CompileSafe(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (r *Result, 
 			r, err = nil, fmt.Errorf("core: panic compiling loop %q: %v\n%s", l.Name, p, stack)
 		}
 	}()
-	return CompileWith(s, l, m)
+	return CompileWithContext(ctx, s, l, m)
 }
 
-// CompileWith is Compile with an explicit scheduler backend: it builds
-// the dependence graph, computes MII, schedules, validates and analyses
-// register pressure. The returned schedule is guaranteed Validate-clean:
+// CompileWith is Compile with an explicit scheduler backend and no
+// cancellation — the signature test and benchmark callers use when no
+// deadline applies. It is CompileWithContext with a background context.
+func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, error) {
+	return CompileWithContext(context.Background(), s, l, m)
+}
+
+// CompileWithContext runs the full pipeline with an explicit scheduler
+// backend under a cancellable context: it builds the dependence graph,
+// computes MII, schedules, validates and analyses register pressure.
+// The context is threaded into the backend via sched.Request.Ctx, so a
+// deadline cancels an in-flight II search instead of abandoning its
+// goroutine. The returned schedule is guaranteed Validate-clean:
 // regpress.Analyze re-validates backend output, so a buggy backend is
 // caught at this boundary rather than downstream.
-func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, error) {
+func CompileWithContext(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil scheduler")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -119,7 +136,7 @@ func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.Schedule(&sched.Request{Loop: l, Machine: m, Graph: g, MII: &mii})
+	out, err := s.Schedule(&sched.Request{Ctx: ctx, Loop: l, Machine: m, Graph: g, MII: &mii})
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}

@@ -9,6 +9,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -39,10 +41,11 @@ type Options struct {
 	// Workers bounds the fan-out; <= 0 means GOMAXPROCS.
 	Workers int
 	// Timeout is the per-compilation budget; <= 0 means DefaultTimeout.
-	// A compilation that exceeds it is recorded as a timeout outcome (its
-	// goroutine is abandoned — schedulers have no cancellation hook — so
-	// a pathological loop leaks one goroutine rather than hanging the
-	// batch; the worker slot moves on).
+	// A compilation that exceeds it is recorded as a timeout outcome and
+	// its context is cancelled, so the in-flight II search unwinds at
+	// the backend's next cancellation checkpoint instead of running to
+	// completion in an abandoned goroutine; the worker slot moves on
+	// immediately either way.
 	Timeout time.Duration
 	// Timing enables the wall-clock fields of the report (elapsed,
 	// loops/sec, per-outcome durations). Leave false for byte-identical
@@ -229,10 +232,17 @@ func Run(spec Spec, opts Options) *Report {
 }
 
 // runOne executes a single compilation with panic isolation (inside
-// core.CompileSafe) and a wall-clock budget. On timeout the compile
-// goroutine is abandoned; see Options.Timeout.
+// core.CompileSafe) and a wall-clock budget enforced through context
+// cancellation: the deadline both frees the worker slot and unwinds the
+// in-flight II search at the backend's next checkpoint, so a
+// pathological loop costs one timeout outcome, not a leaked goroutine.
+// The select on ctx.Done() is a backstop for a backend stuck inside a
+// single II attempt — the slot still moves on at the deadline even if
+// the checkpoint is slow to come around.
 func runOne(j job, timeout time.Duration, timing bool) Outcome {
 	o := Outcome{Loop: j.loop.Name, Backend: j.backend.Name(), Machine: j.mach.Name}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	type res struct {
 		r   *core.Result
 		err error
@@ -240,13 +250,18 @@ func runOne(j job, timeout time.Duration, timing bool) Outcome {
 	ch := make(chan res, 1)
 	begin := time.Now()
 	go func() {
-		r, err := core.CompileSafe(j.backend, j.loop, j.mach)
+		r, err := core.CompileSafe(ctx, j.backend, j.loop, j.mach)
 		ch <- res{r, err}
 	}()
 	var r res
 	select {
 	case r = <-ch:
-	case <-time.After(timeout):
+		if r.err != nil && errors.Is(r.err, context.DeadlineExceeded) {
+			o.TimedOut = true
+			o.Err = fmt.Sprintf("timeout after %s", timeout)
+			return o
+		}
+	case <-ctx.Done():
 		o.TimedOut = true
 		o.Err = fmt.Sprintf("timeout after %s", timeout)
 		return o

@@ -148,6 +148,41 @@ func TestTimeout(t *testing.T) {
 	}
 }
 
+// cancelAwareScheduler blocks until its request context fires, then
+// reports on released that it observed the cancellation — the proof the
+// driver cancels in-flight compilations rather than abandoning them.
+type cancelAwareScheduler struct{ released chan struct{} }
+
+func (cancelAwareScheduler) Name() string { return "cancel-aware" }
+func (c cancelAwareScheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
+	<-req.Ctx.Done()
+	close(c.released)
+	return nil, req.Cancelled()
+}
+
+// TestTimeoutCancelsInFlight pins the cancellation contract end to end:
+// the per-compilation deadline reaches the backend through
+// sched.Request.Ctx, the outcome is recorded as a timeout, and the
+// compile goroutine unwinds instead of leaking.
+func TestTimeoutCancelsInFlight(t *testing.T) {
+	released := make(chan struct{})
+	spec := Spec{
+		Corpus:   "cancel",
+		Loops:    []*ir.Loop{ir.SingleInstruction()},
+		Backends: []sched.Scheduler{cancelAwareScheduler{released: released}},
+		Machines: []*machine.Machine{machine.Unified()},
+	}
+	rep := Run(spec, Options{Workers: 1, Timeout: 50 * time.Millisecond})
+	if rep.Failures != 1 || len(rep.Outcomes) != 1 || !rep.Outcomes[0].TimedOut {
+		t.Fatalf("timeout not recorded: %+v", rep.Outcomes)
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never observed cancellation — goroutine abandoned, not cancelled")
+	}
+}
+
 // TestReportDeterminism is the local twin of the CI determinism smoke:
 // two identical runs without timing marshal to identical bytes, even
 // with different worker counts (completion order must not leak).

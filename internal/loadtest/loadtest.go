@@ -1,0 +1,423 @@
+// Package loadtest is the deterministic closed-loop load harness for
+// the serving layer: it drives an in-process serve.Server over real
+// HTTP with a seed-keyed population from pkg/gen and reports the
+// numbers the ROADMAP's serving story is gated on — sustained
+// throughput, cache hit rate, singleflight collapse and latency
+// quantiles — as a JSON artifact.
+//
+// Determinism is structured the same way internal/report structures it:
+// every untimed field of the Report is a pure function of the options.
+// The run is phased so concurrency cannot blur the counters. A burst
+// phase holds one compilation open (via serve's BeforeCompile hook)
+// until every concurrent duplicate has provably coalesced onto it, so
+// singleflight collapse is demonstrated by construction, not by racing.
+// A sequential warm phase then compiles each unique loop exactly once,
+// and the concurrent steady phase replays the warmed population from
+// closed-loop clients — every request a cache hit, whatever the
+// interleaving. Wall-clock fields (throughput, quantiles) appear only
+// when Options.Timing is set, exactly like driver reports, so CI can
+// diff two artifacts byte-for-byte and gate the rest against committed
+// thresholds (Thresholds, Check).
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/serve"
+	"github.com/paper-repo-growth/mirs/pkg/canon"
+	"github.com/paper-repo-growth/mirs/pkg/gen"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+)
+
+// Options parameterises one load-test run.
+type Options struct {
+	// Seed keys the generated population (prefix-stable, toolchain
+	// independent — pkg/gen ships its own PRNG).
+	Seed uint64
+	// Requests is the total number of warm + steady requests; must be
+	// >= Unique.
+	Requests int
+	// Unique is the number of distinct loops in the population; the
+	// steady phase cycles through them, so the expected hit rate is
+	// (Requests-Unique)/Requests.
+	Unique int
+	// Clients is the closed-loop client count of the steady phase.
+	Clients int
+	// Burst is the number of concurrent identical requests in the
+	// singleflight phase; <= 0 means 8.
+	Burst int
+	// Backend and MachineName select the compilation grid cell; empty
+	// means "mirs" on "unified".
+	Backend     string
+	MachineName string
+	// Workers, QueueDepth, CacheSize and Timeout configure the server
+	// under test; zero values take serve's defaults, except CacheSize,
+	// which is raised to hold the whole population (the steady phase
+	// measures caching, not eviction — eviction has its own unit
+	// tests).
+	Workers    int
+	QueueDepth int
+	CacheSize  int
+	Timeout    time.Duration
+	// Timing enables the wall-clock block of the report (elapsed,
+	// requests/sec, latency quantiles). Leave false for byte-identical
+	// artifacts across runs — the CI determinism smoke diffs two.
+	Timing bool
+}
+
+// Report is one load-test run's artifact. Untimed fields are fully
+// deterministic in Options; the wall-clock block is zero unless
+// Options.Timing was set.
+type Report struct {
+	// Corpus, Backend and Machine label the run.
+	Corpus  string `json:"corpus"`
+	Backend string `json:"backend"`
+	Machine string `json:"machine"`
+	// Requests, Unique, Clients and Burst echo the options.
+	Requests int `json:"requests"`
+	Unique   int `json:"unique_loops"`
+	Clients  int `json:"clients"`
+	Burst    int `json:"burst"`
+	// OK and Failed split the warm+steady requests by HTTP outcome.
+	OK     int `json:"ok"`
+	Failed int `json:"failed"`
+	// Server-side counters of the warm+steady phases.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Shed         int64 `json:"shed"`
+	Compilations int64 `json:"compilations"`
+	// HitRate is CacheHits / (CacheHits + CacheMisses).
+	HitRate float64 `json:"hit_rate"`
+	// Burst-phase counters: BurstRequests concurrent identical
+	// requests collapsed into BurstCompilations compilations (1 when
+	// singleflight holds) with BurstCoalesced joiners.
+	BurstRequests     int   `json:"burst_requests"`
+	BurstCompilations int64 `json:"burst_compilations"`
+	BurstCoalesced    int64 `json:"burst_coalesced"`
+	// Wall-clock block; zero unless Options.Timing.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	P50Micros      int64   `json:"p50_micros,omitempty"`
+	P99Micros      int64   `json:"p99_micros,omitempty"`
+}
+
+// Marshal renders the artifact as indented JSON with a trailing
+// newline, the byte layout the CI determinism smoke diffs.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile emits the canonical JSON rendering to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("loadtest: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Run executes one load test against a fresh in-process server and
+// returns its report. It fails only on harness errors (bad options,
+// transport failures); compilation failures are counted, not fatal —
+// the thresholds gate decides how many are acceptable.
+func Run(opts Options) (*Report, error) {
+	if opts.Unique <= 0 || opts.Requests < opts.Unique {
+		return nil, fmt.Errorf("loadtest: need requests >= unique >= 1, have %d/%d", opts.Requests, opts.Unique)
+	}
+	if opts.Clients <= 0 {
+		return nil, fmt.Errorf("loadtest: need clients >= 1, have %d", opts.Clients)
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 8
+	}
+	if opts.Backend == "" {
+		opts.Backend = "mirs"
+	}
+	if opts.MachineName == "" {
+		opts.MachineName = "unified"
+	}
+	if opts.CacheSize < opts.Unique {
+		opts.CacheSize = opts.Unique
+		if opts.CacheSize < 4096 {
+			opts.CacheSize = 4096
+		}
+	}
+	loops := gen.Corpus(opts.Seed, opts.Unique)
+	rep := &Report{
+		Corpus:   fmt.Sprintf("gen:seed=%d,n=%d", opts.Seed, opts.Unique),
+		Backend:  opts.Backend,
+		Machine:  opts.MachineName,
+		Requests: opts.Requests,
+		Unique:   opts.Unique,
+		Clients:  opts.Clients,
+		Burst:    opts.Burst,
+	}
+
+	if err := runBurst(opts, loops[0], rep); err != nil {
+		return nil, err
+	}
+	if err := runWarmSteady(opts, loops, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// serverConfig builds the serve.Config shared by both phases.
+func serverConfig(opts Options) serve.Config {
+	return serve.Config{
+		DefaultBackend: opts.Backend,
+		Workers:        opts.Workers,
+		QueueDepth:     opts.QueueDepth,
+		CacheSize:      opts.CacheSize,
+		Timeout:        opts.Timeout,
+	}
+}
+
+// runBurst demonstrates singleflight collapse deterministically: a
+// dedicated server holds the first compilation at the BeforeCompile
+// hook until the server's own counters prove every other duplicate has
+// coalesced onto it, then releases. Whatever the goroutine
+// interleaving, exactly one compilation can result.
+func runBurst(opts Options, loop *ir.Loop, rep *Report) error {
+	gate := make(chan struct{})
+	cfg := serverConfig(opts)
+	cfg.BeforeCompile = func(canon.Address) { <-gate }
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return fmt.Errorf("loadtest: burst server: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(serve.CompileRequest{Loop: loop, MachineName: opts.MachineName})
+	if err != nil {
+		return fmt.Errorf("loadtest: %w", err)
+	}
+	errs := make([]error, opts.Burst)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = postJSON(ts.Client(), ts.URL+"/v1/compile", body)
+		}(i)
+	}
+	released := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !released {
+		snap := srv.Stats()
+		if snap.Misses == 1 && snap.Waiters == int64(opts.Burst-1) {
+			close(gate)
+			released = true
+			break
+		}
+		if time.Now().After(deadline) {
+			close(gate)
+			wg.Wait()
+			return fmt.Errorf("loadtest: burst never converged: %+v", snap)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return fmt.Errorf("loadtest: burst request: %w", e)
+		}
+	}
+	snap := srv.Stats()
+	rep.BurstRequests = opts.Burst
+	rep.BurstCompilations = snap.Compilations
+	rep.BurstCoalesced = snap.Coalesced
+	return nil
+}
+
+// runWarmSteady runs the main phases against a fresh server: each
+// unique loop once sequentially (all misses), then the remaining
+// requests from closed-loop clients over the warmed population (all
+// hits), partitioned deterministically by request index.
+func runWarmSteady(opts Options, loops []*ir.Loop, rep *Report) error {
+	srv, err := serve.New(serverConfig(opts))
+	if err != nil {
+		return fmt.Errorf("loadtest: server: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := make([][]byte, len(loops))
+	for i, l := range loops {
+		if bodies[i], err = json.Marshal(serve.CompileRequest{Loop: l, MachineName: opts.MachineName}); err != nil {
+			return fmt.Errorf("loadtest: %w", err)
+		}
+	}
+
+	begin := time.Now()
+	okTotal, failTotal := 0, 0
+	for i := range bodies {
+		ok, err := postJSON(ts.Client(), ts.URL+"/v1/compile", bodies[i])
+		if err != nil {
+			return fmt.Errorf("loadtest: warm request %d: %w", i, err)
+		}
+		if ok {
+			okTotal++
+		} else {
+			failTotal++
+		}
+	}
+
+	steady := opts.Requests - opts.Unique
+	oks := make([]int, opts.Clients)
+	fails := make([]int, opts.Clients)
+	errs := make([]error, opts.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Closed loop: each client walks its deterministic share of
+			// the request index space, one request at a time.
+			for i := c; i < steady; i += opts.Clients {
+				ok, err := postJSON(ts.Client(), ts.URL+"/v1/compile", bodies[i%opts.Unique])
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if ok {
+					oks[c]++
+				} else {
+					fails[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	for _, e := range errs {
+		if e != nil {
+			return fmt.Errorf("loadtest: steady request: %w", e)
+		}
+	}
+	for c := 0; c < opts.Clients; c++ {
+		okTotal += oks[c]
+		failTotal += fails[c]
+	}
+
+	snap := srv.Stats()
+	rep.OK = okTotal
+	rep.Failed = failTotal
+	rep.CacheHits = snap.Hits
+	rep.CacheMisses = snap.Misses
+	rep.Coalesced = snap.Coalesced
+	rep.Shed = snap.Shed
+	rep.Compilations = snap.Compilations
+	rep.HitRate = snap.HitRate()
+	if opts.Timing {
+		rep.ElapsedSeconds = elapsed.Seconds()
+		if s := elapsed.Seconds(); s > 0 {
+			rep.RequestsPerSec = float64(opts.Requests) / s
+		}
+		rep.P50Micros = snap.P50Micros
+		rep.P99Micros = snap.P99Micros
+	}
+	return nil
+}
+
+// postJSON posts one compile body and reports whether it returned 200.
+// Transport-level failures are errors; HTTP-level failures are not —
+// they are outcomes the report counts.
+func postJSON(client *http.Client, url string, body []byte) (bool, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return false, err
+	}
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// Thresholds are the committed gate a load-test artifact is compared
+// against in CI (LOADTEST_baseline.json at the repo root). Population
+// fields must match exactly — numbers from a different run shape are
+// not comparable — and the rest bound the serving behaviour.
+type Thresholds struct {
+	// Requests and Unique pin the run shape the thresholds were
+	// calibrated for.
+	Requests int `json:"requests"`
+	Unique   int `json:"unique_loops"`
+	// MinHitRate is the floor on the steady-state cache hit rate — the
+	// millions-of-users story is mostly cache hits, so this is the
+	// headline number.
+	MinHitRate float64 `json:"min_hit_rate"`
+	// MaxFailed and MaxShed bound non-200 outcomes over the warmed
+	// population (normally both zero).
+	MaxFailed int   `json:"max_failed"`
+	MaxShed   int64 `json:"max_shed"`
+	// ExactCompilations pins server-side compilations to the unique
+	// population size: one more means the cache or singleflight leaked
+	// a duplicate compilation.
+	ExactCompilations int64 `json:"exact_compilations"`
+	// ExactBurstCompilations (normally 1) and MinBurstCoalesced
+	// (normally burst-1) pin the singleflight collapse.
+	ExactBurstCompilations int64 `json:"exact_burst_compilations"`
+	MinBurstCoalesced      int64 `json:"min_burst_coalesced"`
+}
+
+// ReadThresholds parses a committed thresholds file.
+func ReadThresholds(path string) (Thresholds, error) {
+	var t Thresholds
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, fmt.Errorf("loadtest: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("loadtest: parse %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Check gates a report against thresholds and returns the violations,
+// empty when the gate is clean.
+func Check(r *Report, t Thresholds) []string {
+	var v []string
+	if r.Requests != t.Requests || r.Unique != t.Unique {
+		v = append(v, fmt.Sprintf("population mismatch: run is %d requests / %d unique, thresholds calibrated for %d / %d",
+			r.Requests, r.Unique, t.Requests, t.Unique))
+		return v
+	}
+	if r.HitRate < t.MinHitRate {
+		v = append(v, fmt.Sprintf("hit rate %.4f below floor %.4f", r.HitRate, t.MinHitRate))
+	}
+	if r.Failed > t.MaxFailed {
+		v = append(v, fmt.Sprintf("%d failed requests exceed budget %d", r.Failed, t.MaxFailed))
+	}
+	if r.Shed > t.MaxShed {
+		v = append(v, fmt.Sprintf("%d shed requests exceed budget %d", r.Shed, t.MaxShed))
+	}
+	if t.ExactCompilations > 0 && r.Compilations != t.ExactCompilations {
+		v = append(v, fmt.Sprintf("%d compilations, want exactly %d — cache or singleflight leaked duplicates", r.Compilations, t.ExactCompilations))
+	}
+	if t.ExactBurstCompilations > 0 && r.BurstCompilations != t.ExactBurstCompilations {
+		v = append(v, fmt.Sprintf("burst collapsed to %d compilations, want exactly %d", r.BurstCompilations, t.ExactBurstCompilations))
+	}
+	if r.BurstCoalesced < t.MinBurstCoalesced {
+		v = append(v, fmt.Sprintf("burst coalesced %d requests, want >= %d", r.BurstCoalesced, t.MinBurstCoalesced))
+	}
+	return v
+}

@@ -1,0 +1,167 @@
+package loadtest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallOpts is a fast run shape: list backend, 40 requests over 5
+// unique loops from 4 clients, with a 4-wide singleflight burst.
+func smallOpts() Options {
+	return Options{
+		Seed:     7,
+		Requests: 40,
+		Unique:   5,
+		Clients:  4,
+		Burst:    4,
+		Backend:  "list",
+	}
+}
+
+func TestRunCountersExact(t *testing.T) {
+	rep, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 40 || rep.Failed != 0 {
+		t.Fatalf("ok/failed = %d/%d, want 40/0", rep.OK, rep.Failed)
+	}
+	if rep.CacheMisses != 5 || rep.Compilations != 5 {
+		t.Fatalf("misses/compilations = %d/%d, want 5/5", rep.CacheMisses, rep.Compilations)
+	}
+	if rep.CacheHits != 35 || rep.Coalesced != 0 {
+		t.Fatalf("hits/coalesced = %d/%d, want 35/0", rep.CacheHits, rep.Coalesced)
+	}
+	if want := 35.0 / 40.0; rep.HitRate != want {
+		t.Fatalf("hit rate %v, want %v", rep.HitRate, want)
+	}
+	if rep.BurstRequests != 4 || rep.BurstCompilations != 1 || rep.BurstCoalesced != 3 {
+		t.Fatalf("burst requests/compilations/coalesced = %d/%d/%d, want 4/1/3",
+			rep.BurstRequests, rep.BurstCompilations, rep.BurstCoalesced)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("shed = %d, want 0", rep.Shed)
+	}
+	if rep.ElapsedSeconds != 0 || rep.RequestsPerSec != 0 || rep.P50Micros != 0 {
+		t.Fatalf("timing fields set without Timing: %+v", rep)
+	}
+}
+
+// TestRunDeterministic is the property CI's determinism smoke relies
+// on: two untimed runs with the same options marshal to identical
+// bytes.
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("reports differ across identical runs:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestTimingFieldsOptIn(t *testing.T) {
+	opts := smallOpts()
+	opts.Timing = true
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ElapsedSeconds <= 0 || rep.RequestsPerSec <= 0 {
+		t.Fatalf("timing run has zero wall-clock fields: %+v", rep)
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	rep, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := Thresholds{
+		Requests:               40,
+		Unique:                 5,
+		MinHitRate:             0.85,
+		ExactCompilations:      5,
+		ExactBurstCompilations: 1,
+		MinBurstCoalesced:      3,
+	}
+	if v := Check(rep, thr); len(v) != 0 {
+		t.Fatalf("clean run violates thresholds: %v", v)
+	}
+
+	thr.MinHitRate = 1.0
+	v := Check(rep, thr)
+	if len(v) != 1 || !strings.Contains(v[0], "hit rate") {
+		t.Fatalf("raised hit-rate floor not caught: %v", v)
+	}
+
+	thr.MinHitRate = 0.85
+	thr.ExactCompilations = 4
+	v = Check(rep, thr)
+	if len(v) != 1 || !strings.Contains(v[0], "compilations") {
+		t.Fatalf("compilation leak not caught: %v", v)
+	}
+
+	thr.ExactCompilations = 5
+	thr.Requests = 100
+	v = Check(rep, thr)
+	if len(v) != 1 || !strings.Contains(v[0], "population mismatch") {
+		t.Fatalf("population mismatch not caught: %v", v)
+	}
+}
+
+func TestThresholdsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "thresholds.json")
+	rep, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abuse WriteFile/ReadThresholds symmetry: write a thresholds file
+	// by hand and read it back.
+	want := Thresholds{Requests: 40, Unique: 5, MinHitRate: 0.875, ExactCompilations: 5, ExactBurstCompilations: 1, MinBurstCoalesced: 3}
+	data := []byte(`{"requests":40,"unique_loops":5,"min_hit_rate":0.875,"max_failed":0,"max_shed":0,"exact_compilations":5,"exact_burst_compilations":1,"min_burst_coalesced":3}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadThresholds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("thresholds round-trip: got %+v, want %+v", got, want)
+	}
+	if v := Check(rep, got); len(v) != 0 {
+		t.Fatalf("round-tripped thresholds reject clean run: %v", v)
+	}
+	if _, err := ReadThresholds(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing thresholds file did not error")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	for _, opts := range []Options{
+		{Requests: 4, Unique: 5, Clients: 1},
+		{Requests: 10, Unique: 0, Clients: 1},
+		{Requests: 10, Unique: 5, Clients: 0},
+	} {
+		if _, err := Run(opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/paper-repo-growth/mirs/pkg/canon"
+)
+
+// artifact is the cached result of one compilation: exactly the
+// content-addressed, name-independent fields — everything the response
+// needs except the request's own loop/machine/backend labels, which the
+// handler re-attaches. Artifacts are immutable once stored; the Stats
+// map is owned by the artifact and never written after creation.
+type artifact struct {
+	II          int
+	MII         int
+	MaxLive     int
+	Unroll      int
+	Fits        bool
+	SpillLoads  int
+	SpillStores int
+	Stats       map[string]int
+}
+
+// lruCache is a fixed-capacity least-recently-used map from content
+// address to compilation artifact. It is safe for concurrent use; every
+// operation is O(1) under one mutex — the schedule cache is read-mostly
+// and artifacts are tiny, so a single lock outperforms anything
+// cleverer at the scale one process serves.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recently used; values are *lruEntry
+	entries   map[canon.Address]*list.Element
+	evictions int64
+}
+
+// lruEntry is one cache slot.
+type lruEntry struct {
+	addr canon.Address
+	art  *artifact
+}
+
+// newLRUCache returns an empty cache holding at most capacity entries.
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[canon.Address]*list.Element, capacity),
+	}
+}
+
+// get returns the artifact for addr, marking it most recently used.
+func (c *lruCache) get(addr canon.Address) (*artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[addr]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).art, true
+}
+
+// add stores an artifact under addr, evicting the least recently used
+// entry when the cache is full. Re-adding an existing address refreshes
+// its recency and value.
+func (c *lruCache) add(addr canon.Address, art *artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[addr]; ok {
+		el.Value.(*lruEntry).art = art
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[addr] = c.order.PushFront(&lruEntry{addr: addr, art: art})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).addr)
+		c.evictions++
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// evicted reports the cumulative eviction count.
+func (c *lruCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

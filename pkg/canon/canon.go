@@ -1,0 +1,271 @@
+// Package canon computes canonical content addresses for compilation
+// inputs: a stable cryptographic hash of (loop, machine, compile
+// options) that identifies a scheduling problem instance independently
+// of how it was spelled. It is the cache key of the serving layer —
+// scheduling is a pure function of its inputs, so two requests with the
+// same address may share one compilation result — and the same shape
+// exact-scheduling services use to key solver results by problem
+// instance.
+//
+// The address hashes semantic content only, through a canonical byte
+// encoding that is invariant under every representation detail that
+// cannot change the compilation result:
+//
+//   - JSON field order and whitespace (the encoding never sees JSON);
+//   - iteration order of map-typed fields (ir CarriedUses,
+//     machine.Latencies) — entries are hashed in sorted key order;
+//   - order of an instruction's Defs and Uses (the dependence builder
+//     treats them as multisets; both are hashed sorted);
+//   - order of the classes a functional unit supports (a set) and of
+//     the machine's bus groups (aggregated by the scheduler);
+//   - every name — loop, machine, cluster, unit, register file and bus
+//     names are diagnostics, not semantics, and are excluded.
+//
+// Everything that can steer the scheduler is included: instruction
+// classes and mnemonics in body order, register operands, carried-use
+// distances, per-cluster unit structure and register-file sizes, bus
+// counts and latencies, the full latency table, and the compile
+// options (backend, II cap, edge-relaxation mode). Hash-equal inputs
+// therefore compile to result-equal outputs — the property the fuzz
+// target in this package pins.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// Address is a content address: the SHA-256 of the canonical encoding.
+type Address [sha256.Size]byte
+
+// String renders the full address as lowercase hex.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// Short renders the 12-hex-digit prefix — enough to be unique in any
+// realistic cache, short enough for logs.
+func (a Address) Short() string { return hex.EncodeToString(a[:6]) }
+
+// Options are the compile options that are part of a problem instance's
+// identity: the same loop on the same machine under a different backend
+// or II cap is a different computation with a different address.
+type Options struct {
+	// Backend names the scheduler backend ("list", "mirs", ...).
+	Backend string `json:"backend"`
+	// MaxII caps the II search; zero means the backend's default.
+	MaxII int `json:"max_ii,omitempty"`
+	// RenameCopies mirrors ir.BuildOptions.RenameCopies: it relaxes
+	// anti/output edge distances and so changes the schedule.
+	RenameCopies bool `json:"rename_copies,omitempty"`
+}
+
+// Key computes the content address of one compilation request. Nil
+// inputs hash as explicit absence markers, so Key never panics and
+// distinct shapes of "missing" stay distinct.
+func Key(l *ir.Loop, m *machine.Machine, o Options) Address {
+	w := newHasher()
+	w.loop(l)
+	w.machine(m)
+	w.tag('O')
+	w.str(o.Backend)
+	w.num(o.MaxII)
+	w.boolean(o.RenameCopies)
+	return w.sum()
+}
+
+// KeyGraph hashes an explicit dependence graph: the loop it was built
+// from plus its edge multiset in canonical order, so the address is
+// invariant under edge permutation. Callers that schedule hand-built
+// graphs (extra memory dependences, tuned latencies) key on this
+// instead of Key, which assumes the graph is derived from the loop.
+func KeyGraph(g *ir.Graph, m *machine.Machine, o Options) Address {
+	w := newHasher()
+	if g == nil {
+		w.tag('g')
+	} else {
+		w.tag('G')
+		w.loop(g.Loop)
+		edges := append([]ir.Edge(nil), g.Edges...)
+		sort.Slice(edges, func(i, j int) bool {
+			a, b := edges[i], edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			if a.Distance != b.Distance {
+				return a.Distance < b.Distance
+			}
+			if a.Latency != b.Latency {
+				return a.Latency < b.Latency
+			}
+			return a.Reg < b.Reg
+		})
+		w.num(len(edges))
+		for _, e := range edges {
+			w.num(e.From)
+			w.num(e.To)
+			w.num(int(e.Kind))
+			w.num(e.Distance)
+			w.num(e.Latency)
+			w.num(int(e.Reg))
+		}
+	}
+	w.machine(m)
+	w.tag('O')
+	w.str(o.Backend)
+	w.num(o.MaxII)
+	w.boolean(o.RenameCopies)
+	return w.sum()
+}
+
+// hasher streams the canonical encoding into SHA-256. Every variable-
+// length field is length-prefixed and every section tagged, so no two
+// distinct canonical forms can collide by concatenation.
+type hasher struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (w *hasher) sum() (a Address) {
+	w.h.Sum(a[:0])
+	return a
+}
+
+func (w *hasher) tag(b byte) {
+	w.buf[0] = b
+	w.h.Write(w.buf[:1])
+}
+
+// num encodes any int (zigzag varint, so negatives are safe).
+func (w *hasher) num(v int) {
+	n := binary.PutVarint(w.buf[:], int64(v))
+	w.h.Write(w.buf[:n])
+}
+
+func (w *hasher) boolean(v bool) {
+	if v {
+		w.tag(1)
+	} else {
+		w.tag(0)
+	}
+}
+
+func (w *hasher) str(s string) {
+	w.num(len(s))
+	io.WriteString(w.h, s)
+}
+
+// loop encodes the loop body in canonical form: instructions in body
+// order (order is semantic — the dependence builder uses nearest-def
+// semantics), operand lists sorted (they are multisets), carried uses
+// in ascending register order. The loop name is excluded.
+func (w *hasher) loop(l *ir.Loop) {
+	if l == nil {
+		w.tag('l')
+		return
+	}
+	w.tag('L')
+	w.num(len(l.Instrs))
+	var regs []int
+	for _, in := range l.Instrs {
+		w.str(string(in.Class))
+		w.str(in.Op)
+		regs = appendSortedVRegs(regs[:0], in.Defs)
+		w.num(len(regs))
+		for _, v := range regs {
+			w.num(v)
+		}
+		regs = appendSortedVRegs(regs[:0], in.Uses)
+		w.num(len(regs))
+		for _, v := range regs {
+			w.num(v)
+		}
+		regs = regs[:0]
+		for v := range in.CarriedUses {
+			regs = append(regs, int(v))
+		}
+		sort.Ints(regs)
+		w.num(len(regs))
+		for _, v := range regs {
+			w.num(v)
+			w.num(in.CarriedUses[ir.VReg(v)])
+		}
+	}
+}
+
+// machine encodes the machine description in canonical form: clusters
+// in slot order (slot coordinates are semantic), each unit's class set
+// sorted, buses as sorted (count, latency) pairs, the latency table in
+// class order. All names are excluded.
+func (w *hasher) machine(m *machine.Machine) {
+	if m == nil {
+		w.tag('m')
+		return
+	}
+	w.tag('M')
+	w.num(len(m.Clusters))
+	for ci := range m.Clusters {
+		cl := &m.Clusters[ci]
+		w.num(len(cl.Units))
+		for ui := range cl.Units {
+			classes := make([]string, len(cl.Units[ui].Classes))
+			for i, c := range cl.Units[ui].Classes {
+				classes[i] = string(c)
+			}
+			sort.Strings(classes)
+			w.num(len(classes))
+			for _, c := range classes {
+				w.str(c)
+			}
+		}
+		w.num(cl.RegFile.Size)
+	}
+	type bus struct{ count, latency int }
+	buses := make([]bus, len(m.Buses))
+	for i, b := range m.Buses {
+		buses[i] = bus{b.Count, b.Latency}
+	}
+	sort.Slice(buses, func(i, j int) bool {
+		if buses[i].count != buses[j].count {
+			return buses[i].count < buses[j].count
+		}
+		return buses[i].latency < buses[j].latency
+	})
+	w.num(len(buses))
+	for _, b := range buses {
+		w.num(b.count)
+		w.num(b.latency)
+	}
+	classes := make([]string, 0, len(m.Latencies))
+	for c := range m.Latencies {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	w.num(len(classes))
+	for _, c := range classes {
+		w.str(c)
+		w.num(m.Latencies[machine.OpClass(c)])
+	}
+}
+
+// appendSortedVRegs appends vs to dst as ints in ascending order.
+func appendSortedVRegs(dst []int, vs []ir.VReg) []int {
+	for _, v := range vs {
+		dst = append(dst, int(v))
+	}
+	sort.Ints(dst)
+	return dst
+}

@@ -1,0 +1,274 @@
+package canon
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+var testOpts = Options{Backend: "mirs"}
+
+// reordered round-trips a machine through JSON with its object keys in
+// reverse order, simulating a client that spells the same description
+// with different field order.
+func reorderedMachineJSON(t *testing.T, m *machine.Machine) *machine.Machine {
+	t.Helper()
+	data, err := m.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode into a generic map and re-encode: encoding/json emits map
+	// keys sorted, which differs from the struct's field order — the
+	// canonical "same content, different spelling" transformation.
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := json.Marshal(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := machine.FromJSON(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestKeyJSONFieldOrderIndependence pins the core cache-key property:
+// the same machine parsed from differently-ordered JSON and the same
+// loop parsed from a generic re-encode address identically.
+func TestKeyJSONFieldOrderIndependence(t *testing.T) {
+	l := ir.ExampleLoops()[0]
+	m := machine.Paper4Cluster()
+	base := Key(l, m, testOpts)
+
+	if got := Key(l, reorderedMachineJSON(t, m), testOpts); got != base {
+		t.Fatalf("machine JSON field order changed the address: %s vs %s", got, base)
+	}
+
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l2 ir.Loop
+	if err := json.Unmarshal(re, &l2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Key(&l2, m, testOpts); got != base {
+		t.Fatalf("loop JSON field order changed the address: %s vs %s", got, base)
+	}
+}
+
+// cloneLoop deep-copies a loop so permutation tests can mutate freely.
+func cloneLoop(l *ir.Loop) *ir.Loop {
+	out := &ir.Loop{Name: l.Name, Instrs: make([]*ir.Instruction, len(l.Instrs))}
+	for i, in := range l.Instrs {
+		cp := *in
+		cp.Defs = append([]ir.VReg(nil), in.Defs...)
+		cp.Uses = append([]ir.VReg(nil), in.Uses...)
+		if in.CarriedUses != nil {
+			cp.CarriedUses = make(map[ir.VReg]int, len(in.CarriedUses))
+			for k, v := range in.CarriedUses {
+				cp.CarriedUses[k] = v
+			}
+		}
+		out.Instrs[i] = &cp
+	}
+	return out
+}
+
+// permuteLoop applies every semantics-preserving reordering: shuffled
+// Defs and Uses (multisets to the dependence builder).
+func permuteLoop(l *ir.Loop, rng *rand.Rand) *ir.Loop {
+	out := cloneLoop(l)
+	for _, in := range out.Instrs {
+		rng.Shuffle(len(in.Defs), func(i, j int) { in.Defs[i], in.Defs[j] = in.Defs[j], in.Defs[i] })
+		rng.Shuffle(len(in.Uses), func(i, j int) { in.Uses[i], in.Uses[j] = in.Uses[j], in.Uses[i] })
+	}
+	return out
+}
+
+// permuteMachine applies the machine-side semantics-preserving
+// reorderings: shuffled unit class sets and bus groups.
+func permuteMachine(m *machine.Machine, rng *rand.Rand) *machine.Machine {
+	data, err := m.ToJSON()
+	if err != nil {
+		panic(err)
+	}
+	out, err := machine.FromJSON(data)
+	if err != nil {
+		panic(err)
+	}
+	for ci := range out.Clusters {
+		for ui := range out.Clusters[ci].Units {
+			cs := out.Clusters[ci].Units[ui].Classes
+			rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+		}
+	}
+	rng.Shuffle(len(out.Buses), func(i, j int) { out.Buses[i], out.Buses[j] = out.Buses[j], out.Buses[i] })
+	return out
+}
+
+// TestKeyPermutationInvariance: operand, class-set and bus permutations
+// keep the address; reordering the instruction sequence — which changes
+// nearest-def semantics — does not.
+func TestKeyPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, l := range ir.ExampleLoops() {
+		m := machine.Paper4Cluster()
+		base := Key(l, m, testOpts)
+		for trial := 0; trial < 8; trial++ {
+			if got := Key(permuteLoop(l, rng), m, testOpts); got != base {
+				t.Fatalf("loop %s: operand permutation changed the address", l.Name)
+			}
+			if got := Key(l, permuteMachine(m, rng), testOpts); got != base {
+				t.Fatalf("loop %s: machine permutation changed the address", l.Name)
+			}
+		}
+		if len(l.Instrs) >= 2 {
+			swapped := cloneLoop(l)
+			swapped.Instrs[0], swapped.Instrs[1] = swapped.Instrs[1], swapped.Instrs[0]
+			swapped.Instrs[0].ID, swapped.Instrs[1].ID = 0, 1
+			if got := Key(swapped, m, testOpts); got == base {
+				t.Fatalf("loop %s: instruction reorder must change the address", l.Name)
+			}
+		}
+	}
+}
+
+// TestKeyNamesExcluded: renaming the loop, the machine and every
+// cluster/unit/bus/regfile leaves the address unchanged, while any
+// semantic change (a register-file size) moves it.
+func TestKeyNamesExcluded(t *testing.T) {
+	l := ir.ExampleLoops()[0]
+	m := machine.Unified()
+	base := Key(l, m, testOpts)
+
+	renamedLoop := cloneLoop(l)
+	renamedLoop.Name = "entirely-different"
+	if got := Key(renamedLoop, m, testOpts); got != base {
+		t.Fatal("loop name leaked into the address")
+	}
+
+	renamed := permuteMachine(m, rand.New(rand.NewSource(1))) // deep copy
+	renamed.Name = "other"
+	for ci := range renamed.Clusters {
+		renamed.Clusters[ci].Name = "x"
+		renamed.Clusters[ci].RegFile.Name = "y"
+		for ui := range renamed.Clusters[ci].Units {
+			renamed.Clusters[ci].Units[ui].Name = "z"
+		}
+	}
+	for bi := range renamed.Buses {
+		renamed.Buses[bi].Name = "b"
+	}
+	if got := Key(l, renamed, testOpts); got != base {
+		t.Fatal("machine names leaked into the address")
+	}
+
+	resized := permuteMachine(m, rand.New(rand.NewSource(2)))
+	resized.Clusters[0].RegFile.Size++
+	if got := Key(l, resized, testOpts); got == base {
+		t.Fatal("register-file size must change the address")
+	}
+}
+
+// TestKeyOptionsDistinguish: backend, II cap and edge-relaxation mode
+// are part of the problem identity.
+func TestKeyOptionsDistinguish(t *testing.T) {
+	l := ir.ExampleLoops()[0]
+	m := machine.Unified()
+	base := Key(l, m, Options{Backend: "mirs"})
+	if Key(l, m, Options{Backend: "list"}) == base {
+		t.Fatal("backend must change the address")
+	}
+	if Key(l, m, Options{Backend: "mirs", MaxII: 7}) == base {
+		t.Fatal("MaxII must change the address")
+	}
+	if Key(l, m, Options{Backend: "mirs", RenameCopies: true}) == base {
+		t.Fatal("RenameCopies must change the address")
+	}
+}
+
+// TestKeyNilSafety: nil inputs hash as distinct absence markers rather
+// than panicking or colliding with real content.
+func TestKeyNilSafety(t *testing.T) {
+	l := ir.ExampleLoops()[0]
+	m := machine.Unified()
+	seen := map[Address]string{}
+	for name, a := range map[string]Address{
+		"full":     Key(l, m, testOpts),
+		"nil loop": Key(nil, m, testOpts),
+		"nil mach": Key(l, nil, testOpts),
+		"nil both": Key(nil, nil, testOpts),
+	} {
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("%s and %s collide", prev, name)
+		}
+		seen[a] = name
+	}
+}
+
+// TestKeyGraphEdgePermutation: an explicit graph's address is invariant
+// under edge-list permutation and sensitive to edge content.
+func TestKeyGraphEdgePermutation(t *testing.T) {
+	l := ir.ExampleLoops()[1]
+	m := machine.Paper4Cluster()
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := KeyGraph(g, m, testOpts)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		perm := &ir.Graph{Loop: g.Loop, Edges: append([]ir.Edge(nil), g.Edges...)}
+		rng.Shuffle(len(perm.Edges), func(i, j int) { perm.Edges[i], perm.Edges[j] = perm.Edges[j], perm.Edges[i] })
+		if got := KeyGraph(perm, m, testOpts); got != base {
+			t.Fatal("edge permutation changed the graph address")
+		}
+	}
+	bumped := &ir.Graph{Loop: g.Loop, Edges: append([]ir.Edge(nil), g.Edges...)}
+	bumped.Edges[0].Latency++
+	if got := KeyGraph(bumped, m, testOpts); got == base {
+		t.Fatal("edge latency must change the graph address")
+	}
+}
+
+// TestGoldenAddresses pins the example corpus' addresses on the two
+// reference machines. These hex strings are part of the serving
+// contract: changing the canonical encoding invalidates every deployed
+// cache, so a diff here must be deliberate (and noted as such).
+func TestGoldenAddresses(t *testing.T) {
+	golden := map[string]string{} // filled below by generation
+	for _, pin := range goldenPins {
+		golden[pin.loop+"|"+pin.machine] = pin.address
+	}
+	for _, l := range ir.ExampleLoops() {
+		for _, m := range []*machine.Machine{machine.Unified(), machine.Paper4Cluster()} {
+			got := Key(l, m, testOpts).String()
+			want, ok := golden[l.Name+"|"+m.Name]
+			if !ok {
+				t.Errorf("no golden pin for %s|%s: add {%q, %q, %q}", l.Name, m.Name, l.Name, m.Name, got)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s|%s: address drifted: %s != pinned %s", l.Name, m.Name, got, want)
+			}
+		}
+	}
+}

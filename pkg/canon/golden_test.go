@@ -1,0 +1,25 @@
+package canon
+
+// goldenPins are the committed content addresses of the example corpus
+// under Options{Backend: "mirs"} — see TestGoldenAddresses. A drift
+// here means the canonical encoding changed and every deployed schedule
+// cache keyed by it is invalidated; regenerate deliberately by running
+// the test and copying the reported addresses.
+var goldenPins = []struct{ loop, machine, address string }{
+	{"dotprod", "unified", "c4451667c1e39a36ef14994dc7371f0f7a30e03211766eb9324b41948e65ff8b"},
+	{"dotprod", "paper-4cluster", "87b3b3e3217c7550b94746ee013eac94e71e2f40e9012ede85b7932b7be72b09"},
+	{"fir4", "unified", "9a8372eb10c23fb4271b5e25ecd97617bed9e2ddc0e8c8ce590235e223c96d74"},
+	{"fir4", "paper-4cluster", "adb12a4c44de7661f00ecb34bca1bb1673116da481b1df690653ca77d795cf9a"},
+	{"livermore", "unified", "7a1b424ff29022d1264ef1ea7c52406f62702b7ee39b3a3d9a9f7227af39b685"},
+	{"livermore", "paper-4cluster", "d4328e092d061b12248b9dfa192ce4e8880ad074ff85aba82a029932e078b4cf"},
+	{"single", "unified", "6e8e42e6ecfaf730b4f873d3afddd1500775615f2a3c70afc4aa85cd5890696a"},
+	{"single", "paper-4cluster", "1a82107d389642e57ab2872ee78f722ef4b7e04016cb0dbb05c3e51149d3f946"},
+	{"fir8", "unified", "c40dc3fb27615821dfeafbb674496426dce0f510d1db39c8f9213ad649490464"},
+	{"fir8", "paper-4cluster", "607b8dc1d37b69eb18513eb807cc76a910ed9a312a5f5c1f6f6d1c75dc506fea"},
+	{"hydro", "unified", "70edb4ce09ba756f3892ac0ccc5a42cc41c917955bf428172e5faee0cdee836a"},
+	{"hydro", "paper-4cluster", "260513e607607e425614fabc35e55b13f03d29f8e68767cad8f5e6f70b963b66"},
+	{"longchain", "unified", "d808b84bf008d64ae939a0c286804b3dcb61d8a79d933c66216489e6323c7a44"},
+	{"longchain", "paper-4cluster", "2bb1a19719834f68b1aaab8a2fc91ea2ec3ad31e1787a3083dfde3cb6ea93017"},
+	{"copy3", "unified", "56647c4a0e820824203f9e8c8b7113c4423f699b4a2f0b43c4664cb5400eed8a"},
+	{"copy3", "paper-4cluster", "cbabff10e3b2a253028492c053d3073e01a02d78309dbea761feaac70759c145"},
+}

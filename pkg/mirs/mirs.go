@@ -161,6 +161,13 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 	var best *sched.Schedule
 	bestExcess, bestII, stagnant := -1, 0, 0
 	for ii := mii.MII; ii <= maxII; {
+		// Cancellation checkpoint: one II attempt is bounded work (the
+		// force budget caps backtracking), so polling here keeps a
+		// timed-out compilation from finishing a search nobody awaits
+		// while costing nothing on the uncancellable batch path.
+		if err := req.Cancelled(); err != nil {
+			return nil, err
+		}
 		if st == nil {
 			st, err = newState(g, req.Machine, ii)
 			if err != nil {

@@ -65,6 +65,9 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 		return nil, err
 	}
 	for ii := mii.MII; ii <= maxII; ii++ {
+		if err := req.Cancelled(); err != nil {
+			return nil, err
+		}
 		s, ok := ls.tryII(req, g, order, ii, -1, scratch)
 		if !ok {
 			continue
@@ -84,6 +87,9 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 	// serial schedule always exists at some II within the horizon.
 	if ci := soleClusterFor(req); ci >= 0 {
 		for ii := mii.MII; ii <= maxII; ii++ {
+			if err := req.Cancelled(); err != nil {
+				return nil, err
+			}
 			s, ok := ls.tryII(req, g, order, ii, ci, scratch)
 			if !ok {
 				continue

@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,13 @@ import (
 
 // Request bundles the inputs of a scheduling run.
 type Request struct {
+	// Ctx, when non-nil, carries the caller's cancellation signal into
+	// the II search: backends poll Request.Cancelled at every candidate
+	// II (the natural checkpoint — one II attempt is bounded work) and
+	// abandon the search with the context's error once it fires. A nil
+	// Ctx means "never cancelled" and costs nothing to poll, so batch
+	// and test callers that want no deadline simply leave it unset.
+	Ctx context.Context
 	// Loop is the loop body to schedule.
 	Loop *ir.Loop
 	// Machine is the target machine description.
@@ -38,6 +46,22 @@ type Request struct {
 	// don't pay for Tarjan + the RecMII search twice. Leave nil to let
 	// the scheduler compute it.
 	MII *MII
+}
+
+// Cancelled reports the request's cancellation state: nil while the
+// request has no context or its context is still live, and the context
+// error (wrapped, so errors.Is sees context.Canceled or
+// context.DeadlineExceeded) once it fires. Backends call it between
+// candidate IIs so a timed-out compilation returns promptly instead of
+// finishing a search nobody is waiting for.
+func (r *Request) Cancelled() error {
+	if r.Ctx == nil {
+		return nil
+	}
+	if err := r.Ctx.Err(); err != nil {
+		return fmt.Errorf("sched: request cancelled: %w", err)
+	}
+	return nil
 }
 
 // mii returns the request's MII bound, computing it on demand.
