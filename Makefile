@@ -2,7 +2,7 @@
 # here is a thin wrapper over go / msched invocations, so CI and humans
 # run the identical commands.
 
-.PHONY: all build test race bench bench-placement profile compare baseline serve loadtest lint fmt
+.PHONY: all build test race bench bench-placement profile compare baseline serve loadtest trace lint fmt
 
 all: build test
 
@@ -53,6 +53,12 @@ serve:
 # gated against the committed thresholds — the same command CI runs.
 loadtest:
 	go run ./cmd/msched loadtest -o loadtest.json -gate LOADTEST_baseline.json
+
+# Explain one schedule: compile a register-starved seeded loop with the
+# flight recorder attached and print the "why this II" report (see
+# README "Observability"; -chrome/-profile export the raw artifacts).
+trace:
+	go run ./cmd/msched trace -seed 1 -i 7 -machine tight
 
 lint:
 	golangci-lint run

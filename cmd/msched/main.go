@@ -67,6 +67,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return cmdServe(args[1:], stdout, stderr)
 	case "loadtest":
 		return cmdLoadtest(args[1:], stdout, stderr)
+	case "trace":
+		return cmdTrace(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -78,7 +80,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprint(w, `usage: msched <run|gen|compare|serve|loadtest> [flags]
+	fmt.Fprint(w, `usage: msched <run|gen|compare|serve|loadtest|trace> [flags]
 
   run       generate a loop population and batch-compile it across
             backends x machines; emit aggregate quality tables
@@ -89,6 +91,8 @@ func usage(w io.Writer) {
             cache, singleflight, load shedding)
   loadtest  drive an in-process server with a deterministic closed
             loop and emit/gate the load report
+  trace     compile one loop with the flight recorder attached and
+            explain the II search (optional Chrome trace export)
 
 run 'msched <cmd> -h' for per-command flags
 `)
@@ -171,7 +175,13 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	strict := fs.Bool("strict", false, "exit 1 if any compilation fails")
 	out := fs.String("o", "", "write the full JSON report to this file")
 	csvOut := fs.String("csv", "", "write baseline-style rows as CSV to this file")
+	traceSlowest := fs.Int("trace-slowest", 0, "re-compile the N slowest loops with the flight recorder and write their trace artifacts (needs -trace-dir)")
+	traceDir := fs.String("trace-dir", "", "directory for -trace-slowest artifacts")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*traceSlowest > 0) != (*traceDir != "") {
+		fmt.Fprintln(stderr, "msched run: -trace-slowest and -trace-dir must be set together")
 		return 2
 	}
 	bes, err := backendsByName(*backends)
@@ -192,8 +202,16 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	}
 	rep := driver.Run(spec, driver.Options{
 		Workers: *workers, Timeout: *timeout, Timing: *timing, KeepOutcomes: *keep,
+		TraceSlowest: *traceSlowest, TraceDir: *traceDir,
 	})
 	printSummary(stdout, rep)
+	if rep.TraceErr != "" {
+		fmt.Fprintln(stderr, "msched run: trace sampling:", rep.TraceErr)
+		return 1
+	}
+	for _, name := range rep.TraceArtifacts {
+		fmt.Fprintf(stdout, "trace artifact: %s\n", name)
+	}
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -1,14 +1,17 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/paper-repo-growth/mirs/internal/driver"
@@ -19,7 +22,9 @@ import (
 
 // cmdServe runs the scheduling service: an HTTP/JSON front-end over the
 // same compile path `run` batches, with a content-addressed schedule
-// cache, singleflight collapse and queue-depth load shedding.
+// cache, singleflight collapse and queue-depth load shedding. Every
+// request is access-logged with a trace ID (echoed in X-Trace-Id), and
+// SIGINT/SIGTERM drains in-flight compilations before exiting.
 func cmdServe(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("msched serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -29,16 +34,21 @@ func cmdServe(args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 0, "compile queue depth before shedding with 429 (0 = 4x workers)")
 	cache := fs.Int("cache", 0, "schedule cache capacity in entries (0 = 4096)")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request compile budget")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	machineFiles := fs.String("machine-file", "", "comma-separated machine JSON files to serve alongside the canned set")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := slog.New(slog.NewTextHandler(stdout, nil))
 	cfg := serve.Config{
 		DefaultBackend: *backend,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cache,
 		Timeout:        *timeout,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	}
 	if *machineFiles != "" {
 		cfg.Machines = map[string]*machine.Machine{
@@ -67,8 +77,13 @@ func cmdServe(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "msched serve: listening on http://%s (backend %s, machines %s)\n",
 		ln.Addr(), *backend, strings.Join(srv.MachineNames(), ", "))
+	if *pprofOn {
+		fmt.Fprintf(stdout, "msched serve: pprof at http://%s/debug/pprof/\n", ln.Addr())
+	}
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Graceful(ctx, hs, ln, *drain); err != nil {
 		fmt.Fprintln(stderr, "msched serve:", err)
 		return 1
 	}

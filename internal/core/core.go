@@ -15,6 +15,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/mirs"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // Re-exported aliases so entry-point users can name the pipeline's main
@@ -80,6 +81,34 @@ func Backends() []sched.Scheduler {
 	return []sched.Scheduler{sched.ListScheduler{}, mirs.New()}
 }
 
+// Opts carries the optional knobs of a compilation. The zero value is
+// the default pipeline; CompileWithContext is CompileWithOpts with the
+// zero Opts.
+type Opts struct {
+	// Recorder, when non-nil, receives the backend's search trace
+	// (pkg/trace): II attempts, placements, ejections, spills. A nil
+	// Recorder — the default — compiles with tracing fully disabled at
+	// zero cost; attaching one never changes the compilation result,
+	// only observes it.
+	Recorder trace.Recorder
+}
+
+// CompileSafeWith is CompileSafe with explicit Opts — the entry point
+// for callers that want panic isolation and a trace of the search (the
+// `msched trace` explainer, the driver's slow-loop sampling).
+func CompileSafeWith(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *machine.Machine, opts Opts) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			if len(stack) > 2048 {
+				stack = stack[:2048]
+			}
+			r, err = nil, fmt.Errorf("core: panic compiling loop %q: %v\n%s", l.Name, p, stack)
+		}
+	}()
+	return CompileWithOpts(ctx, s, l, m, opts)
+}
+
 // CompileSafe is CompileWithContext with panic isolation: a panicking
 // backend (or analysis layer) is converted into an ordinary per-loop
 // error instead of taking down the caller. This is the non-fatal error
@@ -119,6 +148,12 @@ func CompileWith(s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, er
 // regpress.Analyze re-validates backend output, so a buggy backend is
 // caught at this boundary rather than downstream.
 func CompileWithContext(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *machine.Machine) (*Result, error) {
+	return CompileWithOpts(ctx, s, l, m, Opts{})
+}
+
+// CompileWithOpts is CompileWithContext with explicit Opts; see Opts for
+// what each knob does.
+func CompileWithOpts(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *machine.Machine, opts Opts) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil scheduler")
 	}
@@ -136,7 +171,7 @@ func CompileWithContext(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *m
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.Schedule(&sched.Request{Ctx: ctx, Loop: l, Machine: m, Graph: g, MII: &mii})
+	out, err := s.Schedule(&sched.Request{Ctx: ctx, Loop: l, Machine: m, Graph: g, MII: &mii, Recorder: opts.Recorder})
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}

@@ -56,6 +56,15 @@ type Options struct {
 	// bounds report size on large sweeps; the aggregate tables are
 	// unaffected either way.
 	KeepOutcomes bool
+	// TraceSlowest, together with TraceDir, re-compiles the N slowest
+	// successful compilations of the sweep with a flight recorder
+	// (pkg/trace) attached and writes their Chrome trace + search report
+	// artifacts into TraceDir. Which loops get sampled depends on wall
+	// clock; every artifact's contents are deterministic. Zero (or an
+	// empty TraceDir) disables sampling and keeps the report
+	// byte-identical across runs.
+	TraceSlowest int
+	TraceDir     string
 }
 
 // DefaultTimeout is the per-compilation budget when Options.Timeout is
@@ -160,6 +169,12 @@ type Report struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 	// LoopsPerSec is compilation throughput: Jobs / elapsed.
 	LoopsPerSec float64 `json:"loops_per_sec,omitempty"`
+	// TraceArtifacts lists the file names traceSlowest wrote into
+	// Options.TraceDir (sorted); TraceErr records a sampling failure.
+	// Both are empty — and absent from the JSON — unless trace sampling
+	// was requested, so untraced reports stay byte-identical.
+	TraceArtifacts []string `json:"trace_artifacts,omitempty"`
+	TraceErr       string   `json:"trace_err,omitempty"`
 }
 
 // Rows projects the aggregate into baseline-comparable report rows, one
@@ -208,13 +223,14 @@ func Run(spec Spec, opts Options) *Report {
 	}
 
 	outcomes := make([]Outcome, len(jobs))
+	durs := make([]time.Duration, len(jobs))
 	jobCh := make(chan int)
 	done := make(chan struct{})
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobCh {
-				outcomes[i] = runOne(jobs[i], timeout, opts.Timing)
+				outcomes[i], durs[i] = runOne(jobs[i], timeout, opts.Timing)
 			}
 			done <- struct{}{}
 		}()
@@ -228,7 +244,15 @@ func Run(spec Spec, opts Options) *Report {
 	}
 	elapsed := time.Since(start)
 
-	return aggregate(spec, opts, workers, outcomes, elapsed)
+	rep := aggregate(spec, opts, workers, outcomes, elapsed)
+	if opts.TraceSlowest > 0 && opts.TraceDir != "" {
+		names, err := traceSlowest(jobs, outcomes, durs, opts.TraceSlowest, opts.TraceDir, timeout)
+		rep.TraceArtifacts = names
+		if err != nil {
+			rep.TraceErr = err.Error()
+		}
+	}
+	return rep
 }
 
 // runOne executes a single compilation with panic isolation (inside
@@ -239,7 +263,10 @@ func Run(spec Spec, opts Options) *Report {
 // The select on ctx.Done() is a backstop for a backend stuck inside a
 // single II attempt — the slot still moves on at the deadline even if
 // the checkpoint is slow to come around.
-func runOne(j job, timeout time.Duration, timing bool) Outcome {
+// The returned duration is always measured (trace sampling ranks by it)
+// but only surfaces on the Outcome as Micros when timing is set, keeping
+// untimed reports byte-identical.
+func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) {
 	o := Outcome{Loop: j.loop.Name, Backend: j.backend.Name(), Machine: j.mach.Name}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -259,19 +286,20 @@ func runOne(j job, timeout time.Duration, timing bool) Outcome {
 		if r.err != nil && errors.Is(r.err, context.DeadlineExceeded) {
 			o.TimedOut = true
 			o.Err = fmt.Sprintf("timeout after %s", timeout)
-			return o
+			return o, time.Since(begin)
 		}
 	case <-ctx.Done():
 		o.TimedOut = true
 		o.Err = fmt.Sprintf("timeout after %s", timeout)
-		return o
+		return o, time.Since(begin)
 	}
+	dur := time.Since(begin)
 	if timing {
-		o.Micros = time.Since(begin).Microseconds()
+		o.Micros = dur.Microseconds()
 	}
 	if r.err != nil {
 		o.Err = r.err.Error()
-		return o
+		return o, dur
 	}
 	o.II = r.r.Schedule.II
 	o.MII = r.r.MII.MII
@@ -283,7 +311,7 @@ func runOne(j job, timeout time.Duration, timing bool) Outcome {
 		o.SpillLoads = st["spill_loads"]
 		o.Stats = st
 	}
-	return o
+	return o, dur
 }
 
 // aggregate folds outcome rows into the report. Everything it emits is

@@ -1,0 +1,110 @@
+package driver
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/core"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
+)
+
+// This file is the sweep's sampling hook into the flight recorder
+// (pkg/trace): after a batch run, the N slowest successful compilations
+// are re-compiled with a recorder attached and their search traces
+// written out as artifacts — the loops a sweep spends its wall clock on
+// are exactly the ones whose "why this II" story is worth keeping.
+//
+// Which loops get picked is a timing decision and therefore
+// machine-dependent; the *contents* of every artifact are deterministic
+// (logical sequence numbers, sorted rows), so re-tracing the same loop
+// on any machine produces byte-identical files.
+
+// traceSlowest re-compiles the up-to-n slowest successful compilations
+// with a trace.Buffer attached and writes, per pick, a Chrome
+// trace-event JSON (<base>.trace.json, for chrome://tracing/Perfetto)
+// and the aggregated search report (<base>.report.txt) into dir,
+// creating it if needed. Ties on duration break on the outcome key so
+// equal-cost sweeps pick the same loops. Returns the artifact file
+// names, sorted; a re-run that fails (e.g. races into the timeout) is
+// skipped rather than failing the sweep.
+func traceSlowest(jobs []job, outcomes []Outcome, durs []time.Duration, n int, dir string, timeout time.Duration) ([]string, error) {
+	picks := make([]int, 0, len(outcomes))
+	for i := range outcomes {
+		if outcomes[i].Err == "" {
+			picks = append(picks, i)
+		}
+	}
+	sort.Slice(picks, func(a, b int) bool {
+		if durs[picks[a]] != durs[picks[b]] {
+			return durs[picks[a]] > durs[picks[b]]
+		}
+		return outcomes[picks[a]].Key() < outcomes[picks[b]].Key()
+	})
+	if n < len(picks) {
+		picks = picks[:n]
+	}
+	if len(picks) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, i := range picks {
+		j := jobs[i]
+		buf := &trace.Buffer{}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, err := core.CompileSafeWith(ctx, j.backend, j.loop, j.mach, core.Opts{Recorder: buf})
+		cancel()
+		if err != nil {
+			continue
+		}
+		meta := trace.Meta{Loop: j.loop.Name, Machine: j.mach.Name, Backend: j.backend.Name()}
+		base := sanitizeName(j.loop.Name) + "_" + sanitizeName(j.backend.Name()) + "_" + sanitizeName(j.mach.Name)
+
+		tf := base + ".trace.json"
+		f, err := os.Create(filepath.Join(dir, tf))
+		if err != nil {
+			return names, err
+		}
+		werr := trace.WriteChrome(f, meta, buf.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return names, werr
+		}
+		names = append(names, tf)
+
+		rf := base + ".report.txt"
+		f, err = os.Create(filepath.Join(dir, rf))
+		if err != nil {
+			return names, err
+		}
+		trace.BuildProfile(meta, buf.Events()).WriteReport(f)
+		if err := f.Close(); err != nil {
+			return names, err
+		}
+		names = append(names, rf)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// sanitizeName maps a loop/backend/machine name onto the filename-safe
+// alphabet artifacts use.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strings"
@@ -71,6 +73,14 @@ type Config struct {
 	// a compilation in flight deterministically. Production servers
 	// leave it nil.
 	BeforeCompile func(canon.Address)
+	// Logger receives one structured access record per request (method,
+	// path, status, duration, trace ID) plus lifecycle events; nil
+	// discards them. The msched CLI wires a text handler on stdout.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: profiling endpoints are opt-in
+	// on explicitly trusted listeners only.
+	EnablePprof bool
 }
 
 // Server is one scheduling service instance. Create with New; serve its
@@ -82,6 +92,7 @@ type Server struct {
 	cache    *lruCache
 	slots    chan struct{}
 	st       stats
+	log      *slog.Logger
 
 	sfMu  sync.Mutex
 	calls map[canon.Address]*call
@@ -165,14 +176,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 15 * time.Second
 	}
-	return &Server{
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	s := &Server{
 		cfg:      cfg,
 		backends: backends,
 		machines: cfg.Machines,
 		cache:    newLRUCache(cfg.CacheSize),
 		slots:    make(chan struct{}, cfg.Workers),
 		calls:    map[canon.Address]*call{},
-	}, nil
+		log:      log,
+	}
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	s.st.initBackends(names)
+	return s, nil
 }
 
 // Stats returns a point-in-time snapshot of the server counters.
@@ -279,14 +301,24 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the server's HTTP handler.
+// Handler returns the server's HTTP handler: the API mux wrapped in the
+// telemetry middleware (per-request trace IDs echoed in X-Trace-Id,
+// structured access logging), with the pprof endpoints mounted when
+// Config.EnablePprof is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
-	return mux
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withTelemetry(mux)
 }
 
 // maxBodyBytes bounds request bodies; generated loops are a few KB, so
@@ -407,7 +439,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleStatsz serves GET /v1/statsz in Prometheus text format.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(s.Stats().prometheus()))
+	_, _ = w.Write([]byte(s.prometheusText()))
 }
 
 // compileOne walks one compile unit through validation, the cache, the
@@ -536,7 +568,14 @@ func (s *Server) lead(ctx context.Context, be sched.Scheduler, l *ir.Loop, m *ma
 	if s.cfg.BeforeCompile != nil {
 		s.cfg.BeforeCompile(addr)
 	}
-	r, err := core.CompileSafe(ctx, be, l, m)
+	// The search-event counters ride along as the compilation's recorder
+	// (atomic increments, no buffering); the compile-phase clock feeds
+	// the per-backend latency histogram whatever the outcome.
+	compileBegin := time.Now()
+	r, err := core.CompileSafeWith(ctx, be, l, m, core.Opts{Recorder: &s.st.search})
+	if h := s.st.compileLat[be.Name()]; h != nil {
+		h.observe(time.Since(compileBegin).Microseconds())
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.st.timeouts.Add(1)

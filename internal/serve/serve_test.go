@@ -150,7 +150,11 @@ func TestCompileEndToEnd(t *testing.T) {
 		"msched_cache_misses_total 1",
 		"msched_compilations_total 1",
 		"# TYPE msched_requests_total counter",
-		`msched_request_latency_seconds{quantile="0.99"}`,
+		"# TYPE msched_request_latency_seconds histogram",
+		`msched_request_latency_seconds_bucket{le="+Inf"} 2`,
+		"msched_request_latency_seconds_count 2",
+		`msched_compile_latency_seconds_bucket{backend=`,
+		`msched_search_events_total{kind=`,
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("statsz missing %q:\n%s", want, text)

@@ -3,8 +3,11 @@ package serve
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 	"sync/atomic"
+
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // stats is the server's counter block. Everything is a lock-free atomic
@@ -24,6 +27,25 @@ type stats struct {
 	waiters      atomic.Int64 // gauge: joiners waiting on an in-flight compile
 
 	latency latencyHist
+
+	// compileLat histograms the compile phase alone (no queueing, no
+	// cache path) per backend. The map is built once at server
+	// construction and only read afterwards, so lookups need no lock.
+	compileLat map[string]*latencyHist
+
+	// search aggregates the scheduler's trace events (pkg/trace) across
+	// every compilation the server leads: one atomic per event kind, so
+	// /v1/statsz can report how hard the backends are backtracking
+	// (ejections, forces, spills) without per-request traces.
+	search trace.Counters
+}
+
+// initBackends sizes the per-backend structures; call once before serving.
+func (st *stats) initBackends(names []string) {
+	st.compileLat = make(map[string]*latencyHist, len(names))
+	for _, n := range names {
+		st.compileLat[n] = &latencyHist{}
+	}
 }
 
 // Snapshot is a point-in-time copy of the server counters, exposed for
@@ -81,6 +103,7 @@ func (s Snapshot) HitRate() float64 {
 type latencyHist struct {
 	buckets [32]atomic.Int64
 	count   atomic.Int64
+	sum     atomic.Int64 // total observed microseconds, for the _sum series
 }
 
 // observe records one request latency.
@@ -94,6 +117,7 @@ func (h *latencyHist) observe(micros int64) {
 	}
 	h.buckets[b].Add(1)
 	h.count.Add(1)
+	h.sum.Add(micros)
 }
 
 // quantile returns an upper bound on the q-quantile (0 < q <= 1) in
@@ -139,11 +163,39 @@ func (st *stats) snapshot() Snapshot {
 	}
 }
 
-// prometheus renders the snapshot in Prometheus text exposition format
-// — counter and gauge families under the msched_ prefix, latency
-// quantiles as a summary — so a standard scraper ingests /v1/statsz
-// without an adapter.
-func (s Snapshot) prometheus() string {
+// writeHistogram renders one histogram series set under an already
+// emitted family header, following the Prometheus exposition
+// convention: cumulative `le`-labelled buckets ending at "+Inf" (whose
+// count equals _count), then the _sum and _count series. labels is
+// either empty or a `key="value",` prefix spliced before the le label.
+// Bucket edges are the histogram's power-of-two boundaries in seconds;
+// every observation in buckets 0..i is below edge i, so cumulation is
+// exact.
+func writeHistogram(b *strings.Builder, name, labels string, h *latencyHist) {
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.buckets)-1 {
+			le = fmt.Sprintf("%g", float64(uint64(1)<<uint(i))/1e6)
+		}
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labels, le, cum)
+	}
+	var trimmed string
+	if labels != "" {
+		trimmed = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, trimmed, float64(h.sum.Load())/1e6)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, trimmed, h.count.Load())
+}
+
+// prometheusText renders the server's telemetry in Prometheus text
+// exposition format — counter and gauge families under the msched_
+// prefix, latency histograms with cumulative le buckets, per-backend
+// compile histograms and the scheduler's search-event counters — so a
+// standard scraper ingests /v1/statsz without an adapter.
+func (s *Server) prometheusText() string {
+	snap := s.Stats()
 	var b strings.Builder
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP msched_%s %s\n# TYPE msched_%s counter\nmsched_%s %d\n", name, help, name, name, v)
@@ -151,21 +203,41 @@ func (s Snapshot) prometheus() string {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP msched_%s %s\n# TYPE msched_%s gauge\nmsched_%s %d\n", name, help, name, name, v)
 	}
-	counter("requests_total", "compile units accepted (single requests plus batch items)", s.Requests)
-	counter("cache_hits_total", "requests served from the schedule cache", s.Hits)
-	counter("cache_misses_total", "requests that led a compilation", s.Misses)
-	counter("singleflight_coalesced_total", "requests collapsed onto an in-flight identical compilation", s.Coalesced)
-	counter("shed_total", "requests rejected with 429 because the compile queue was full", s.Shed)
-	counter("errors_total", "failed compilations", s.Errors)
-	counter("timeouts_total", "requests whose deadline fired", s.Timeouts)
-	counter("compilations_total", "compilations run to successful completion", s.Compilations)
-	counter("cache_evictions_total", "LRU entries evicted under pressure", s.CacheEvictions)
-	gauge("inflight", "compile leaders currently queued or running", s.Inflight)
-	gauge("waiters", "requests currently parked on an in-flight compilation", s.Waiters)
-	gauge("cache_entries", "schedule cache occupancy", s.CacheEntries)
-	fmt.Fprintf(&b, "# HELP msched_request_latency_seconds request latency quantiles over compile units\n")
-	fmt.Fprintf(&b, "# TYPE msched_request_latency_seconds summary\n")
-	fmt.Fprintf(&b, "msched_request_latency_seconds{quantile=\"0.5\"} %g\n", float64(s.P50Micros)/1e6)
-	fmt.Fprintf(&b, "msched_request_latency_seconds{quantile=\"0.99\"} %g\n", float64(s.P99Micros)/1e6)
+	counter("requests_total", "compile units accepted (single requests plus batch items)", snap.Requests)
+	counter("cache_hits_total", "requests served from the schedule cache", snap.Hits)
+	counter("cache_misses_total", "requests that led a compilation", snap.Misses)
+	counter("singleflight_coalesced_total", "requests collapsed onto an in-flight identical compilation", snap.Coalesced)
+	counter("shed_total", "requests rejected with 429 because the compile queue was full", snap.Shed)
+	counter("errors_total", "failed compilations", snap.Errors)
+	counter("timeouts_total", "requests whose deadline fired", snap.Timeouts)
+	counter("compilations_total", "compilations run to successful completion", snap.Compilations)
+	counter("cache_evictions_total", "LRU entries evicted under pressure", snap.CacheEvictions)
+	gauge("inflight", "compile leaders currently queued or running", snap.Inflight)
+	gauge("waiters", "requests currently parked on an in-flight compilation", snap.Waiters)
+	gauge("cache_entries", "schedule cache occupancy", snap.CacheEntries)
+	gauge("cache_capacity", "schedule cache capacity in entries", int64(s.cfg.CacheSize))
+	gauge("queue_depth_limit", "compile admissions before shedding", int64(s.cfg.QueueDepth))
+	gauge("compile_slots", "concurrent compilation slots", int64(s.cfg.Workers))
+
+	fmt.Fprintf(&b, "# HELP msched_request_latency_seconds request latency over compile units (cache hits included)\n")
+	fmt.Fprintf(&b, "# TYPE msched_request_latency_seconds histogram\n")
+	writeHistogram(&b, "msched_request_latency_seconds", "", &s.st.latency)
+
+	fmt.Fprintf(&b, "# HELP msched_compile_latency_seconds compile-phase latency per backend (leaders only)\n")
+	fmt.Fprintf(&b, "# TYPE msched_compile_latency_seconds histogram\n")
+	backends := make([]string, 0, len(s.st.compileLat))
+	for name := range s.st.compileLat {
+		backends = append(backends, name)
+	}
+	sort.Strings(backends)
+	for _, name := range backends {
+		writeHistogram(&b, "msched_compile_latency_seconds", fmt.Sprintf("backend=%q,", name), s.st.compileLat[name])
+	}
+
+	fmt.Fprintf(&b, "# HELP msched_search_events_total scheduler search events across served compilations (pkg/trace)\n")
+	fmt.Fprintf(&b, "# TYPE msched_search_events_total counter\n")
+	for _, k := range trace.Kinds() {
+		fmt.Fprintf(&b, "msched_search_events_total{kind=%q} %d\n", k.String(), s.st.search.Count(k))
+	}
 	return b.String()
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// This file is the serving-telemetry layer around the API mux: per-request
+// trace IDs (generated or propagated, always echoed in X-Trace-Id),
+// structured access logging through log/slog, and the graceful-shutdown
+// helper `msched serve` drains through on SIGINT/SIGTERM.
+
+// traceIDHeader carries the request's trace ID in both directions: a
+// client (or upstream proxy) may supply one, and the server always echoes
+// the effective ID so a log line can be joined to the response that
+// caused it.
+const traceIDHeader = "X-Trace-Id"
+
+// discardHandler is a no-op slog.Handler, the default when Config.Logger
+// is nil: telemetry code can log unconditionally without nil checks, and
+// embedders (tests, the load-test harness) stay silent unless they opt
+// in. (The standard library grew slog.DiscardHandler in go1.24; this
+// keeps the package building on the older toolchains CI still runs.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// newTraceID returns a 16-hex-digit random request identifier. Trace IDs
+// are correlation handles, not secrets or sequence numbers — collision
+// odds at 64 bits are irrelevant at any plausible request volume.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken in ways a
+		// trace ID cannot fix; degrade to a fixed marker rather than 500.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the status code an inner handler commits, so the
+// access log can record it. WriteHeader wins on first call, like the real
+// ResponseWriter; an implicit 200 from a bare Write is recorded too.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// withTelemetry wraps the API mux with the per-request telemetry: assign
+// or propagate the trace ID, echo it in the response, and emit one
+// structured access-log line per request — Info for success, Warn for
+// client errors, Error for server errors. The wrapper allocates only
+// when the logger is enabled for the line's level, so a discarding
+// logger keeps the request path allocation-free.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tid := r.Header.Get(traceIDHeader)
+		if tid == "" {
+			tid = newTraceID()
+		}
+		w.Header().Set(traceIDHeader, tid)
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		if !s.log.Enabled(r.Context(), level) {
+			return
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("duration", time.Since(begin)),
+			slog.String("trace_id", tid),
+		)
+	})
+}
+
+// Graceful serves hs on ln until ctx is cancelled, then drains in-flight
+// requests through http.Server.Shutdown under `timeout` and logs a final
+// stats snapshot — the shutdown contract behind `msched serve`:
+// SIGINT/SIGTERM stops accepting, lets running compilations finish (the
+// drain deadline bounds how long), and exits cleanly. Returns nil on a
+// clean drain; the serve or shutdown error otherwise.
+func (s *Server) Graceful(ctx context.Context, hs *http.Server, ln net.Listener, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing left to drain.
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", slog.Duration("drain_timeout", timeout))
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sctx)
+	serveErr := <-errc
+	snap := s.Stats()
+	s.log.Info("final stats",
+		slog.Int64("requests", snap.Requests),
+		slog.Int64("hits", snap.Hits),
+		slog.Int64("misses", snap.Misses),
+		slog.Int64("coalesced", snap.Coalesced),
+		slog.Int64("shed", snap.Shed),
+		slog.Int64("errors", snap.Errors),
+		slog.Int64("timeouts", snap.Timeouts),
+		slog.Int64("compilations", snap.Compilations),
+		slog.Int64("p99_micros", snap.P99Micros),
+	)
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	return serveErr
+}

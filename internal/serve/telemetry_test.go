@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/pkg/canon"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// logBuffer is a concurrency-safe sink for the test logger: handlers
+// run on request goroutines while the test reads the output.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceIDsAndAccessLog pins the per-request telemetry contract: the
+// server mints a trace ID when the client sends none, propagates one
+// the client supplies, echoes it in X-Trace-Id either way, and emits a
+// structured access-log line carrying method, path, status and the
+// trace ID.
+func TestTraceIDsAndAccessLog(t *testing.T) {
+	var out logBuffer
+	logger := slog.New(slog.NewTextHandler(&out, nil))
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(traceIDHeader)
+	if len(minted) != 16 {
+		t.Fatalf("server-minted trace ID %q, want 16 hex chars", minted)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(traceIDHeader, "cafef00dcafef00d")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(traceIDHeader); got != "cafef00dcafef00d" {
+		t.Fatalf("client trace ID not propagated: got %q", got)
+	}
+
+	// A bad request must be logged at warn with its status.
+	resp3, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed compile: status %d", resp3.StatusCode)
+	}
+
+	log := out.String()
+	for _, want := range []string{
+		"msg=request",
+		"method=GET",
+		"path=/v1/healthz",
+		"status=200",
+		"trace_id=" + minted,
+		"trace_id=cafef00dcafef00d",
+		"level=WARN",
+		"status=400",
+		"path=/v1/compile",
+	} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("access log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestPprofOptIn pins that /debug/pprof/ exists only when EnablePprof
+// is set — profiling endpoints must never leak onto a default server.
+func TestPprofOptIn(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: status %d", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp2, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not served with opt-in: status %d", resp2.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight is the shutdown regression test:
+// with a compilation deterministically held in flight (gated backend),
+// cancelling the serve context must stop the listener, wait for the
+// request to finish, and still deliver its 200 — then Graceful returns
+// clean and logs the final stats snapshot.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	be := &gatedSched{gate: make(chan struct{})}
+	started := make(chan struct{}, 1)
+	var out logBuffer
+	s, err := New(Config{
+		Backends: []sched.Scheduler{be},
+		Workers:  2,
+		Logger:   slog.New(slog.NewTextHandler(&out, nil)),
+		BeforeCompile: func(canon.Address) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	gracefulDone := make(chan error, 1)
+	go func() { gracefulDone <- s.Graceful(ctx, hs, ln, 10*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	reqDone := make(chan int, 1)
+	go func() {
+		code, _ := post(t, base, "/v1/compile", compileBody(t, ir.ExampleLoops()[0], "unified", ""), &CompileResponse{})
+		reqDone <- code
+	}()
+
+	// The compile is in flight (parked on the gate): trigger shutdown.
+	<-started
+	cancel()
+
+	// The listener must stop accepting while the drain runs.
+	waitFor(t, "listener to close", func() bool {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 50*time.Millisecond)
+		if err != nil {
+			return true
+		}
+		conn.Close()
+		return false
+	})
+	select {
+	case err := <-gracefulDone:
+		t.Fatalf("Graceful returned before the in-flight request finished: %v", err)
+	case code := <-reqDone:
+		t.Fatalf("in-flight request finished early with %d", code)
+	default:
+	}
+
+	// Release the compilation: the held request must complete with 200
+	// and Graceful must then return clean.
+	close(be.gate)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("drained request status %d, want 200", code)
+	}
+	if err := <-gracefulDone; err != nil {
+		t.Fatalf("Graceful: %v", err)
+	}
+	log := out.String()
+	for _, want := range []string{"shutting down", "final stats", "compilations=1"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("shutdown log missing %q:\n%s", want, log)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // Options tunes the backtracking and spilling budgets.
@@ -173,13 +174,33 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 			if err != nil {
 				return nil, err
 			}
+			st.rec = req.Recorder
 		}
 		if err := st.reset(req.Loop, g, ii, s.opts.MaxRetries, maxSpills, height, liveInUses); err != nil {
 			return nil, err
 		}
+		if st.rec != nil {
+			// Arg carries the MII on the first attempt so a profile can
+			// report the search's starting point without recomputing it.
+			mark := int64(0)
+			if ii == mii.MII {
+				mark = int64(mii.MII)
+			}
+			st.rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
+		}
 		out, completed, excess, err := s.tryII(st)
 		if err != nil {
 			return nil, err
+		}
+		if st.rec != nil {
+			hits, misses := st.wc.Stats()
+			st.rec.Emit(trace.Event{Kind: trace.KindCacheHit, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: hits})
+			st.rec.Emit(trace.Event{Kind: trace.KindCacheMiss, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: misses})
+			done := int64(0)
+			if completed && excess == 0 {
+				done = 1
+			}
+			st.rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: done, Aux: int64(excess)})
 		}
 		if completed && firstComplete == 0 {
 			firstComplete = ii

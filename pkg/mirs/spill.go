@@ -7,6 +7,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // This file is the integrated-spilling half of MIRS: picking the victim
@@ -116,6 +117,15 @@ func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
 	if best == nil {
 		return 0, 0, false
 	}
+	if st.rec != nil {
+		label := "live-in"
+		if best.id >= 0 {
+			label = st.loop.Instrs[best.id].Op
+		}
+		st.rec.Emit(trace.Event{Kind: trace.KindVictim, II: int32(st.ii), Op: int32(best.id),
+			Cluster: int32(cluster), Cycle: -1, Reg: int32(best.reg),
+			Arg: int64(best.length), Aux: int64(best.uses), Label: label})
+	}
 	return best.id, best.reg, true
 }
 
@@ -197,6 +207,14 @@ func (st *state) applySpill(id int, reg ir.VReg) bool {
 		st.spillStores++
 	}
 	st.spillLoads += len(sp.ReloadIDs)
+	if st.rec != nil {
+		stores := int64(0)
+		if sp.StoreID >= 0 {
+			stores = 1
+		}
+		st.rec.Emit(trace.Event{Kind: trace.KindSpill, II: int32(st.ii), Op: int32(id),
+			Cluster: -1, Cycle: -1, Reg: int32(reg), Arg: stores, Aux: int64(len(sp.ReloadIDs))})
+	}
 
 	n := sp.Loop.NumInstrs()
 	// The force budget is a per-instruction allowance (MaxRetries × n);

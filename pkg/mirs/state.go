@@ -9,6 +9,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // state is the mutable scheduling state for one candidate II: the
@@ -76,6 +77,12 @@ type state struct {
 	trs      []sched.Transfer // transfer enumeration scratch
 
 	memLat, busLat int
+
+	// rec is the flight recorder (sched.Request.Recorder); nil — the
+	// default — disables tracing, and every emission below is guarded
+	// by a nil check so the disabled path constructs no events and
+	// allocates nothing.
+	rec trace.Recorder
 }
 
 type defKey struct {
@@ -381,7 +388,12 @@ func (st *state) place(u int) bool {
 		}
 		est, lst := st.wc.Window(st.plc, st.placed, u, ci)
 		if lst < est {
-			continue // empty window: only a forced placement can resolve it
+			// Empty window: only a forced placement can resolve it.
+			if st.rec != nil {
+				st.rec.Emit(trace.Event{Kind: trace.KindWindowMiss, II: int32(st.ii), Op: int32(u),
+					Cluster: int32(ci), Cycle: int32(est), Reg: -1, Arg: int64(lst), Label: st.loop.Instrs[u].Op})
+			}
+			continue
 		}
 		from, to, step := est, lst+1, 1
 		if late {
@@ -415,6 +427,16 @@ func (st *state) place(u int) bool {
 	return st.force(u)
 }
 
+// emit forwards one event to the recorder when one is attached. Call
+// sites on the placement fast path inline the nil check instead so the
+// Event is never constructed when tracing is off; this helper is for
+// the colder sites where an extra call is immaterial.
+func (st *state) emit(e trace.Event) {
+	if st.rec != nil {
+		st.rec.Emit(e)
+	}
+}
+
 // compact runs a post-placement retiming sweep: every op that now wants
 // ALAP placement (scanLate — typically spill reloads placed before their
 // consumer existed, or producers whose consumers were ejected and re-seated
@@ -423,6 +445,8 @@ func (st *state) place(u int) bool {
 // consumer or stays put, so the sweep monotonically lowers pressure and
 // cannot invalidate the schedule.
 func (st *state) compact() {
+	st.emit(trace.Event{Kind: trace.KindCompact, II: int32(st.ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: 1})
+	defer st.emit(trace.Event{Kind: trace.KindCompact, II: int32(st.ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: 0})
 	for u := range st.placed {
 		if !st.placed[u] || !st.scanLate(u) {
 			continue
@@ -444,8 +468,7 @@ func (st *state) compact() {
 // ejectQuietly is unplace without charging the ejection statistic — used
 // by compact, which always re-places the op it lifts.
 func (st *state) ejectQuietly(u int) {
-	st.unplace(u)
-	st.ejections--
+	st.release(u)
 }
 
 // placeNoForce is the probe half of place: it commits u at the best
@@ -552,6 +575,10 @@ func (st *state) force(u int) bool {
 			return false
 		}
 	}
+	if st.rec != nil {
+		st.rec.Emit(trace.Event{Kind: trace.KindForce, II: int32(st.ii), Op: int32(u),
+			Cluster: int32(ci), Cycle: int32(t), Reg: -1, Label: st.loop.Instrs[u].Op})
+	}
 	st.commit(u, ci, t, slot)
 	return true
 }
@@ -565,6 +592,10 @@ func (st *state) commit(u, ci, t, slot int) {
 	}
 	st.plc[u] = sched.Placement{Cycle: t, Cluster: ci, Slot: slot}
 	st.placed[u] = true
+	if st.rec != nil {
+		st.rec.Emit(trace.Event{Kind: trace.KindPlace, II: int32(st.ii), Op: int32(u),
+			Cluster: int32(ci), Cycle: int32(t), Reg: -1})
+	}
 	st.wc.Invalidate(u)
 	st.refreshAround(u)
 	st.liveInAdjust(u, 1)
@@ -575,6 +606,18 @@ func (st *state) commit(u, ci, t, slot int) {
 // back. x returns to the pending pool via nextUnplaced.
 func (st *state) unplace(x int) {
 	st.ejections++
+	if st.rec != nil {
+		st.rec.Emit(trace.Event{Kind: trace.KindEject, II: int32(st.ii), Op: int32(x),
+			Cluster: int32(st.plc[x].Cluster), Cycle: int32(st.plc[x].Cycle), Reg: -1,
+			Label: st.loop.Instrs[x].Op})
+	}
+	st.release(x)
+}
+
+// release is the mechanics of unplace without the ejection statistic or
+// trace event — compact lifts ops through it because every lift is
+// re-seated, which is movement, not backtracking.
+func (st *state) release(x int) {
 	p := st.plc[x]
 	st.mrt.Release(p.Cluster, p.Slot, p.Cycle)
 	for _, e := range st.g.Preds(x) {

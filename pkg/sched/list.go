@@ -6,6 +6,7 @@ import (
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // ListScheduler is the reference baseline backend: a non-backtracking
@@ -64,15 +65,28 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := req.Recorder
 	for ii := mii.MII; ii <= maxII; ii++ {
 		if err := req.Cancelled(); err != nil {
 			return nil, err
 		}
-		s, ok := ls.tryII(req, g, order, ii, -1, scratch)
-		if !ok {
-			continue
+		if rec != nil {
+			mark := int64(0)
+			if ii == mii.MII {
+				mark = int64(mii.MII)
+			}
+			rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
 		}
-		if err := s.Validate(); err == nil {
+		s, ok := ls.tryII(req, g, order, ii, -1, scratch)
+		valid := ok && s.Validate() == nil
+		if rec != nil {
+			completed := int64(0)
+			if valid {
+				completed = 1
+			}
+			rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: completed})
+		}
+		if valid {
 			s.AddStat("ii_over_mii", ii-mii.MII)
 			return s, nil
 		}
@@ -90,11 +104,19 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 			if err := req.Cancelled(); err != nil {
 				return nil, err
 			}
-			s, ok := ls.tryII(req, g, order, ii, ci, scratch)
-			if !ok {
-				continue
+			if rec != nil {
+				rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: int32(ci), Cycle: -1, Reg: -1})
 			}
-			if err := s.Validate(); err == nil {
+			s, ok := ls.tryII(req, g, order, ii, ci, scratch)
+			valid := ok && s.Validate() == nil
+			if rec != nil {
+				completed := int64(0)
+				if valid {
+					completed = 1
+				}
+				rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: int32(ci), Cycle: -1, Reg: -1, Arg: completed})
+			}
+			if valid {
 				s.AddStat("ii_over_mii", ii-mii.MII)
 				s.AddStat("single_cluster_fallback", 1)
 				return s, nil
@@ -268,6 +290,13 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 			}
 		}
 		if best.cycle == -1 {
+			// No cluster had a free compatible slot inside the II-cycle
+			// probe window: the greedy equivalent of an empty deadline
+			// window, and where the attempt dies.
+			if rec := req.Recorder; rec != nil {
+				rec.Emit(trace.Event{Kind: trace.KindWindowMiss, II: int32(ii), Op: int32(id),
+					Cluster: -1, Cycle: -1, Reg: -1, Label: in.Op})
+			}
 			return nil, false
 		}
 		if err := mrt.Reserve(best.cluster, best.slot, best.cycle, id); err != nil {
@@ -279,6 +308,10 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 		}
 		plc[id] = Placement{Cycle: best.cycle, Cluster: best.cluster, Slot: best.slot}
 		placed[id] = true
+		if rec := req.Recorder; rec != nil {
+			rec.Emit(trace.Event{Kind: trace.KindPlace, II: int32(ii), Op: int32(id),
+				Cluster: int32(best.cluster), Cycle: int32(best.cycle), Reg: -1})
+		}
 	}
 	return &Schedule{
 		Loop:       req.Loop,

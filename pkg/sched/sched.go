@@ -19,6 +19,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/life"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
 // Request bundles the inputs of a scheduling run.
@@ -46,6 +47,13 @@ type Request struct {
 	// don't pay for Tarjan + the RecMII search twice. Leave nil to let
 	// the scheduler compute it.
 	MII *MII
+	// Recorder, when non-nil, receives the backend's search events (II
+	// attempts, placements, window misses, ejections, spills — see
+	// pkg/trace). Recorders observe, never steer: the schedule produced
+	// is bit-identical with or without one. Nil — the default — is the
+	// disabled state; every emission site is guarded by a nil check, so
+	// it costs one predicted branch and zero allocations.
+	Recorder trace.Recorder
 }
 
 // Cancelled reports the request's cancellation state: nil while the

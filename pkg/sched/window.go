@@ -139,6 +139,12 @@ type WindowCache struct {
 	est, lst     []int32
 	bounded      []bool
 	estOK, lstOK []bool
+	// hits/misses count memoised lookups served from cache vs
+	// recomputed, reset with the cache. Plain int64 increments: the
+	// counters exist so a tracing backend can emit per-II cache
+	// aggregates (trace.KindCacheHit/Miss) without paying a per-lookup
+	// event.
+	hits, misses int64
 }
 
 // NewWindowCache returns an empty cache for graph g on machine m at the
@@ -173,7 +179,12 @@ func (wc *WindowCache) Reset(g *ir.Graph, m *machine.Machine, ii int) {
 			wc.lstOK[i] = false
 		}
 	}
+	wc.hits, wc.misses = 0, 0
 }
+
+// Stats returns the lookup counters since the last Reset: lookups
+// served from the cache and lookups that recomputed a scan.
+func (wc *WindowCache) Stats() (hits, misses int64) { return wc.hits, wc.misses }
 
 // Invalidate clears the cached windows affected by a change to x's
 // placement: every dependence neighbour of x, and x itself.
@@ -201,6 +212,9 @@ func (wc *WindowCache) EarliestStart(plc []Placement, placed []bool, id, cluster
 	if !wc.estOK[i] {
 		wc.est[i] = int32(EarliestStart(wc.g, wc.m, plc, placed, wc.ii, id, cluster))
 		wc.estOK[i] = true
+		wc.misses++
+	} else {
+		wc.hits++
 	}
 	return int(wc.est[i])
 }
@@ -215,6 +229,9 @@ func (wc *WindowCache) Window(plc []Placement, placed []bool, id, cluster int) (
 		l, bounded := LatestStart(wc.g, wc.m, plc, placed, wc.ii, id, cluster)
 		wc.lst[i], wc.bounded[i] = int32(l), bounded
 		wc.lstOK[i] = true
+		wc.misses++
+	} else {
+		wc.hits++
 	}
 	lst = int(wc.lst[i])
 	if !wc.bounded[i] || lst > est+wc.ii-1 {
