@@ -2,7 +2,7 @@
 # here is a thin wrapper over go / msched invocations, so CI and humans
 # run the identical commands.
 
-.PHONY: all build test race bench bench-placement profile compare baseline serve loadtest trace lint fmt
+.PHONY: all build test race bench bench-placement bench-parallel profile compare baseline serve loadtest trace lint fmt
 
 all: build test
 
@@ -18,12 +18,19 @@ race:
 # Full-pipeline benchmark (graph build + schedule + analysis + MVE) with
 # allocation counts; writes BENCH_results.json next to the package.
 bench:
-	go test -run '^$$' -bench BenchmarkCompile -benchmem ./internal/core/
+	go test -run '^$$' -bench '^(BenchmarkCompile)$$' -benchmem ./internal/core/
 
 # Placement-path-only benchmark: graph and MII prebuilt, so allocs/op
 # isolates the scheduler hot path the zero-allocation claim covers.
 bench-placement:
 	go test -run '^$$' -bench BenchmarkPlacement -benchmem ./internal/core/
+
+# Speculative II search at 1 and 4 CPUs over the tail-heavy corpus; the
+# cpu=4 row reports a speedup metric vs cpu=1 and both rows land in
+# internal/core/BENCH_parallel.json. Needs >= 4 physical cores for the
+# ratio to mean anything.
+bench-parallel:
+	go test -run '^$$' -bench BenchmarkCompileParallel -cpu 1,4 -benchmem ./internal/core/
 
 # Capture CPU + allocation pprof profiles from the benchmarks; inspect
 # with `go tool pprof bench_cpu.pprof` (see README "Performance &

@@ -132,7 +132,11 @@ func machinesByName(spec string) ([]*machine.Machine, error) {
 }
 
 // backendsByName resolves a comma-separated backend list against the
-// core registry. "all" expands to every registered backend.
+// core registry. "all" expands to every registered backend; "portfolio"
+// names the strategy-racing scheduler (core.Portfolio), which is
+// deliberately not part of "all" — its results duplicate whichever
+// strategy wins, so sweeping it alongside the real backends would
+// double-count without informing.
 func backendsByName(spec string) ([]sched.Scheduler, error) {
 	reg := core.Backends()
 	if spec == "all" {
@@ -144,9 +148,14 @@ func backendsByName(spec string) ([]sched.Scheduler, error) {
 	}
 	var out []sched.Scheduler
 	for _, name := range strings.Split(spec, ",") {
-		b, ok := byName[strings.TrimSpace(name)]
+		name = strings.TrimSpace(name)
+		if name == "portfolio" {
+			out = append(out, core.Portfolio())
+			continue
+		}
+		b, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown backend %q (have: %s, all)", name, strings.Join(backendNames(reg), ", "))
+			return nil, fmt.Errorf("unknown backend %q (have: %s, portfolio, all)", name, strings.Join(backendNames(reg), ", "))
 		}
 		out = append(out, b)
 	}
@@ -169,6 +178,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	backends := fs.String("backends", "all", "comma-separated backends, or all")
 	machines := fs.String("machines", "unified,paper-4cluster", "comma-separated machines, or all")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	probes := fs.Int("probes", 1, "parallel candidate-II probes per compilation (outputs stay byte-identical)")
+	portfolio := fs.Bool("portfolio", false, "also sweep the strategy-racing portfolio backend")
 	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
 	timing := fs.Bool("timing", false, "include wall-clock fields (breaks byte-determinism)")
 	keep := fs.Bool("keep-outcomes", false, "retain every per-compilation outcome in the report")
@@ -194,6 +205,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "msched run:", err)
 		return 2
 	}
+	if *portfolio {
+		bes = append(bes, core.Portfolio())
+	}
 	spec := driver.Spec{
 		Corpus:   fmt.Sprintf("gen:seed=%d,n=%d", *seed, *n),
 		Loops:    gen.Corpus(*seed, *n),
@@ -202,7 +216,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	}
 	rep := driver.Run(spec, driver.Options{
 		Workers: *workers, Timeout: *timeout, Timing: *timing, KeepOutcomes: *keep,
-		TraceSlowest: *traceSlowest, TraceDir: *traceDir,
+		TraceSlowest: *traceSlowest, TraceDir: *traceDir, Probes: *probes,
 	})
 	printSummary(stdout, rep)
 	if rep.TraceErr != "" {
@@ -253,6 +267,11 @@ func printSummary(w io.Writer, rep *driver.Report) {
 	if rep.ElapsedSeconds > 0 {
 		fmt.Fprintf(w, "wall clock %.2fs, %.0f compilations/sec across %d workers\n",
 			rep.ElapsedSeconds, rep.LoopsPerSec, rep.Workers)
+		fmt.Fprintf(w, "per-compilation latency p50 %dus p99 %dus", rep.P50Micros, rep.P99Micros)
+		if rep.Probes > 1 {
+			fmt.Fprintf(w, " (probes %d: %d launched, %d cancelled)", rep.Probes, rep.ProbesLaunched, rep.ProbesCancelled)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, o := range rep.Outcomes {
 		if o.Err != "" {

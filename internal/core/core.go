@@ -15,6 +15,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/mirs"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/sched/search"
 	"github.com/paper-repo-growth/mirs/pkg/trace"
 )
 
@@ -48,6 +49,13 @@ type Result struct {
 	// maps. It is always Validate-clean — CompileWith fails instead of
 	// returning a kernel with a wrap-around redefinition.
 	Expanded *sched.ExpandedKernel
+	// ProbeStats counts the speculative probes the parallel search ran
+	// for this compilation (zero when Opts.ParallelProbes <= 1 or the
+	// backend is not a sched.Prober). The counts are timing-dependent —
+	// they depend on goroutine completion order — so they must never be
+	// folded into deterministic artifacts; everything else in Result is
+	// a pure function of (loop, machine, options).
+	ProbeStats search.Stats
 }
 
 // Summary renders a one-line result digest for logs and CLIs: the II
@@ -91,6 +99,21 @@ type Opts struct {
 	// zero cost; attaching one never changes the compilation result,
 	// only observes it.
 	Recorder trace.Recorder
+	// ParallelProbes > 1 probes that many candidate IIs concurrently
+	// through pkg/sched/search when the backend supports it
+	// (sched.Prober); <= 1 — the default — is the plain sequential
+	// search with zero extra goroutines and zero extra allocations.
+	// The compilation result is byte-identical at any setting; only
+	// wall clock and Result.ProbeStats change.
+	ParallelProbes int
+	// Portfolio races the stock heterogeneous strategy mix
+	// (search.DefaultPortfolio) instead of the single backend s and
+	// keeps the deterministic best by (fits, II, MaxLive, spill
+	// traffic); the winning strategy's index lands in
+	// Schedule.Stats["portfolio_winner"]. ParallelProbes is ignored
+	// while racing — the portfolio's strategy-level parallelism already
+	// uses the extra cores.
+	Portfolio bool
 }
 
 // CompileSafeWith is CompileSafe with explicit Opts — the entry point
@@ -171,7 +194,17 @@ func CompileWithOpts(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *mach
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.Schedule(&sched.Request{Ctx: ctx, Loop: l, Machine: m, Graph: g, MII: &mii, Recorder: opts.Recorder})
+	if opts.Portfolio {
+		s = Portfolio()
+	}
+	req := &sched.Request{Ctx: ctx, Loop: l, Machine: m, Graph: g, MII: &mii, Recorder: opts.Recorder}
+	var out *sched.Schedule
+	var pstats search.Stats
+	if p, ok := s.(sched.Prober); ok && opts.ParallelProbes > 1 {
+		out, pstats, err = search.Run(req, p, opts.ParallelProbes)
+	} else {
+		out, err = s.Schedule(req)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}
@@ -189,5 +222,16 @@ func CompileWithOpts(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *mach
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}
-	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek}, nil
+	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek, ProbeStats: pstats}, nil
+}
+
+// Portfolio returns the stock heterogeneous strategy race
+// (search.DefaultPortfolio) as a scheduler backend: list vs MIRS vs MIRS
+// with a doubled force budget vs MIRS with the fewest-uses victim
+// policy, best result kept by the deterministic (fits, II, MaxLive,
+// spill traffic) order. It is not part of Backends() — quality gates
+// compare the individual backends — but `msched run -backend portfolio`
+// and Opts.Portfolio compile through it.
+func Portfolio() sched.Scheduler {
+	return search.DefaultPortfolio()
 }

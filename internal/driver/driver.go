@@ -21,6 +21,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/sched/search"
 )
 
 // Spec names one batch: the loop population and the backend × machine
@@ -65,6 +66,16 @@ type Options struct {
 	// byte-identical across runs.
 	TraceSlowest int
 	TraceDir     string
+	// Probes > 1 turns on intra-compilation parallelism: each
+	// compilation speculatively attempts that many candidate IIs at
+	// once (core.Opts.ParallelProbes). The worker budget is split
+	// between the two axes — the pool shrinks to Workers/Probes loops
+	// in flight so total concurrency stays near the configured budget,
+	// trading breadth for depth on the tail loops whose long II
+	// searches dominate batch wall clock. Compilation outputs are
+	// byte-identical at any setting; only wall clock and the
+	// timing-block probe counters move.
+	Probes int
 }
 
 // DefaultTimeout is the per-compilation budget when Options.Timeout is
@@ -169,6 +180,20 @@ type Report struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 	// LoopsPerSec is compilation throughput: Jobs / elapsed.
 	LoopsPerSec float64 `json:"loops_per_sec,omitempty"`
+	// P50Micros/P99Micros are per-compilation wall-clock percentiles
+	// (nearest-rank over every job, failures included) — the numbers
+	// that show whether intra-compilation parallelism shortened the
+	// tail. Timing block: zero and absent on untimed reports.
+	P50Micros int64 `json:"p50_micros,omitempty"`
+	P99Micros int64 `json:"p99_micros,omitempty"`
+	// Probes echoes Options.Probes and ProbesLaunched/ProbesCancelled
+	// sum the speculative-search counters across the sweep. All three
+	// live in the timing block: the counters are goroutine-timing
+	// dependent and the echo varies with flags, so folding any of them
+	// into untimed reports would break the byte-determinism contract.
+	Probes          int   `json:"probes,omitempty"`
+	ProbesLaunched  int64 `json:"probes_launched,omitempty"`
+	ProbesCancelled int64 `json:"probes_cancelled,omitempty"`
 	// TraceArtifacts lists the file names traceSlowest wrote into
 	// Options.TraceDir (sorted); TraceErr records a sampling failure.
 	// Both are empty — and absent from the JSON — unless trace sampling
@@ -208,6 +233,17 @@ func Run(spec Spec, opts Options) *Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Probes > 1 {
+		// Split the concurrency budget between the axes: Probes cores
+		// per compilation, so at most Workers/Probes loops in flight
+		// keeps total goroutine pressure near the configured budget
+		// while the tail loops — the ones a whole pool ends up waiting
+		// on — get intra-loop parallelism.
+		workers = (workers + opts.Probes - 1) / opts.Probes
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTimeout
@@ -224,13 +260,14 @@ func Run(spec Spec, opts Options) *Report {
 
 	outcomes := make([]Outcome, len(jobs))
 	durs := make([]time.Duration, len(jobs))
+	pstats := make([]search.Stats, len(jobs))
 	jobCh := make(chan int)
 	done := make(chan struct{})
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobCh {
-				outcomes[i], durs[i] = runOne(jobs[i], timeout, opts.Timing)
+				outcomes[i], durs[i], pstats[i] = runOne(jobs[i], timeout, opts.Timing, opts.Probes)
 			}
 			done <- struct{}{}
 		}()
@@ -245,6 +282,14 @@ func Run(spec Spec, opts Options) *Report {
 	elapsed := time.Since(start)
 
 	rep := aggregate(spec, opts, workers, outcomes, elapsed)
+	if opts.Timing {
+		rep.P50Micros, rep.P99Micros = percentiles(durs)
+		rep.Probes = opts.Probes
+		for _, ps := range pstats {
+			rep.ProbesLaunched += ps.Launched
+			rep.ProbesCancelled += ps.Cancelled
+		}
+	}
 	if opts.TraceSlowest > 0 && opts.TraceDir != "" {
 		names, err := traceSlowest(jobs, outcomes, durs, opts.TraceSlowest, opts.TraceDir, timeout)
 		rep.TraceArtifacts = names
@@ -266,7 +311,7 @@ func Run(spec Spec, opts Options) *Report {
 // The returned duration is always measured (trace sampling ranks by it)
 // but only surfaces on the Outcome as Micros when timing is set, keeping
 // untimed reports byte-identical.
-func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) {
+func runOne(j job, timeout time.Duration, timing bool, probes int) (Outcome, time.Duration, search.Stats) {
 	o := Outcome{Loop: j.loop.Name, Backend: j.backend.Name(), Machine: j.mach.Name}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -277,7 +322,7 @@ func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) 
 	ch := make(chan res, 1)
 	begin := time.Now()
 	go func() {
-		r, err := core.CompileSafe(ctx, j.backend, j.loop, j.mach)
+		r, err := core.CompileSafeWith(ctx, j.backend, j.loop, j.mach, core.Opts{ParallelProbes: probes})
 		ch <- res{r, err}
 	}()
 	var r res
@@ -286,12 +331,12 @@ func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) 
 		if r.err != nil && errors.Is(r.err, context.DeadlineExceeded) {
 			o.TimedOut = true
 			o.Err = fmt.Sprintf("timeout after %s", timeout)
-			return o, time.Since(begin)
+			return o, time.Since(begin), search.Stats{}
 		}
 	case <-ctx.Done():
 		o.TimedOut = true
 		o.Err = fmt.Sprintf("timeout after %s", timeout)
-		return o, time.Since(begin)
+		return o, time.Since(begin), search.Stats{}
 	}
 	dur := time.Since(begin)
 	if timing {
@@ -299,7 +344,7 @@ func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) 
 	}
 	if r.err != nil {
 		o.Err = r.err.Error()
-		return o, dur
+		return o, dur, search.Stats{}
 	}
 	o.II = r.r.Schedule.II
 	o.MII = r.r.MII.MII
@@ -311,7 +356,25 @@ func runOne(j job, timeout time.Duration, timing bool) (Outcome, time.Duration) 
 		o.SpillLoads = st["spill_loads"]
 		o.Stats = st
 	}
-	return o, dur
+	return o, dur, r.r.ProbeStats
+}
+
+// percentiles returns the nearest-rank p50 and p99 of the per-job wall
+// clocks, in microseconds.
+func percentiles(durs []time.Duration) (p50, p99 int64) {
+	if len(durs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p int) time.Duration {
+		i := (len(sorted)*p + 99) / 100
+		if i > 0 {
+			i--
+		}
+		return sorted[i]
+	}
+	return rank(50).Microseconds(), rank(99).Microseconds()
 }
 
 // aggregate folds outcome rows into the report. Everything it emits is

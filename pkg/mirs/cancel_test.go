@@ -1,0 +1,84 @@
+package mirs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/paper-repo-growth/mirs/pkg/gen"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
+)
+
+// cancelOnPlace is a recorder that cancels a context after the n-th
+// placement event — a deterministic way to fire a cancel in the middle
+// of one candidate II's backtracking loop.
+type cancelOnPlace struct {
+	n      int
+	cancel context.CancelFunc
+	events []trace.Event
+}
+
+func (c *cancelOnPlace) Emit(e trace.Event) {
+	c.events = append(c.events, e)
+	if e.Kind == trace.KindPlace {
+		c.n--
+		if c.n == 0 {
+			c.cancel()
+		}
+	}
+}
+
+// TestCancelMidII proves the bounded-latency poll inside the
+// backtracking loop: a cancel that fires a few placements into the
+// *first* candidate II must surface as a context error from that same
+// II. Before the poll existed, cancellation was only checked at
+// candidate-II boundaries — this loop's first II completes (the
+// uncancelled control run pins that), so a boundary-only implementation
+// would return the finished schedule and never see the cancel.
+func TestCancelMidII(t *testing.T) {
+	// A loop big enough that one II attempt spans several poll windows
+	// (the poll checks every 64 placement steps; 80 ops ⇒ at least one
+	// mid-II check before the attempt can complete).
+	l := gen.Generate(1, gen.Knobs{Tag: "bulk", Ops: 80, MemRatio: 0.3, LiveIns: 2})
+	m := machine.Unified()
+
+	// Control: without a cancel the compilation succeeds, and its first
+	// attempted II completes (KindIIEnd with Arg=1 on the first IIEnd) —
+	// the property that makes the cancelled run below meaningful.
+	var buf trace.Buffer
+	if _, err := New().Schedule(&sched.Request{Loop: l, Machine: m, Recorder: &buf}); err != nil {
+		t.Fatalf("control compilation failed: %v", err)
+	}
+	firstEnd := -1
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindIIEnd {
+			if e.Arg != 1 {
+				t.Skipf("first II did not complete cleanly (Arg=%d); loop shape no longer suits this test", e.Arg)
+			}
+			firstEnd = int(e.Seq)
+			break
+		}
+	}
+	if firstEnd < 0 {
+		t.Fatal("control trace has no IIEnd event")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &cancelOnPlace{n: 10, cancel: cancel}
+	_, err := New().Schedule(&sched.Request{Ctx: ctx, Loop: l, Machine: m, Recorder: rec})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err=%v, want context.Canceled from the mid-II poll", err)
+	}
+	// The error must have come from *inside* the first II attempt: had
+	// the attempt run to completion, an IIEnd event would precede the
+	// return (and with Arg=1 the search would have returned success, not
+	// an error, making errors.Is above fail anyway).
+	for _, e := range rec.events {
+		if e.Kind == trace.KindIIEnd {
+			t.Fatalf("trace contains an IIEnd event — the cancel did not interrupt the II attempt")
+		}
+	}
+}

@@ -32,6 +32,7 @@
 package mirs
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/paper-repo-growth/mirs/pkg/ir"
@@ -39,6 +40,24 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 	"github.com/paper-repo-growth/mirs/pkg/trace"
+)
+
+// VictimPolicy selects the tie-break order when picking the lifetime to
+// spill from an over-pressure cluster. All policies deprioritise
+// lifetimes with only loop-carried consumers first (spilling those
+// threads memory latency into a recurrence) and break final ties toward
+// the lowest definition id, so every policy is deterministic.
+type VictimPolicy int
+
+const (
+	// VictimLongest is the paper's rule: longest lifetime first, ties
+	// toward fewest uses (cheapest reload traffic). The default.
+	VictimLongest VictimPolicy = iota
+	// VictimFewestUses inverts the tie-break: fewest uses first, ties
+	// toward the longest lifetime. It minimises reload traffic at the
+	// cost of freeing fewer registers per spill — a different point on
+	// the spill-traffic/pressure curve worth racing in a portfolio.
+	VictimFewestUses
 )
 
 // Options tunes the backtracking and spilling budgets.
@@ -52,6 +71,9 @@ type Options struct {
 	// disables spilling entirely; negative means "derive from loop size"
 	// (2 × the instruction count), which is the default.
 	MaxSpills int
+	// Victim selects the spill-victim tie-break order; the zero value is
+	// the paper's longest-lifetime rule.
+	Victim VictimPolicy
 }
 
 // Option mutates Options; pass them to New.
@@ -62,6 +84,9 @@ func WithMaxRetries(n int) Option { return func(o *Options) { o.MaxRetries = n }
 
 // WithMaxSpills overrides the per-II spill cap; 0 disables spilling.
 func WithMaxSpills(n int) Option { return func(o *Options) { o.MaxSpills = n } }
+
+// WithVictimPolicy overrides the spill-victim selection order.
+func WithVictimPolicy(p VictimPolicy) Option { return func(o *Options) { o.Victim = p } }
 
 // Scheduler is the MIRS backend. The zero value is not useful; construct
 // with New.
@@ -103,16 +128,64 @@ const stagnationLimit = 10
 // with its residual overflow in Stats["pressure_excess"]; the error path
 // is reserved for invalid input and loops with no complete schedule at
 // all.
+//
+// The II search is expressed as the sweep/attempter pair Probe exposes,
+// driven here strictly in order — the same machine pkg/sched/search
+// drives speculatively, so the parallel path's output is this one's by
+// construction.
 func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
+	sw, at, err := s.probe(req)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cand, done := sw.Next()
+		if done {
+			break
+		}
+		// Cancellation checkpoint: one II attempt is bounded work (the
+		// force budget caps backtracking, and state.poll bounds even
+		// that), so polling here keeps a timed-out compilation from
+		// finishing a search nobody awaits while costing nothing on the
+		// uncancellable batch path.
+		if err := req.Cancelled(); err != nil {
+			return nil, err
+		}
+		sw.Consume(cand, at.AttemptII(nil, cand, req.Recorder))
+	}
+	return sw.Result()
+}
+
+// Probe implements sched.Prober: the MIRS II search as a candidate-keyed
+// sweep whose keys are the candidate IIs themselves. The sweep and every
+// attempter share the graph, MII, heights and live-in analysis read-only;
+// each attempter owns a full pooled scheduler state (MRT, pressure
+// tracker, window cache, spill-augmented loop clones), so attempters
+// never share mutable state (see the sched.Prober sharing contract).
+func (s *Scheduler) Probe(req *sched.Request) (sched.Sweep, func() sched.Attempter, error) {
+	sw, at, err := s.probe(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sw, func() sched.Attempter {
+		cp := *at
+		cp.st = nil // each attempter owns its pooled state; lazily built on first use
+		return &cp
+	}, nil
+}
+
+// probe performs the per-request analyses once and returns the concrete
+// sweep/attempter pair both Schedule and Probe drive.
+func (s *Scheduler) probe(req *sched.Request) (*iiSweep, *attempter, error) {
 	if req == nil || req.Loop == nil || req.Machine == nil {
-		return nil, fmt.Errorf("mirs: request missing loop or machine")
+		return nil, nil, fmt.Errorf("mirs: request missing loop or machine")
 	}
 	g := req.Graph
 	if g == nil {
 		var err error
 		g, err = ir.Build(req.Loop, req.Machine, nil)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	var mii sched.MII
@@ -122,7 +195,7 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 		var err error
 		mii, err = sched.ComputeMII(g, req.Machine)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	maxII := req.MaxII
@@ -145,101 +218,195 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 	if maxSpills < 0 {
 		maxSpills = 2 * req.Loop.NumInstrs()
 	}
-
-	// Analyses of the original (loop, graph) pair and the scheduling
-	// state itself are computed once and reused across the II search;
-	// each candidate II resets the state in place instead of rebuilding
-	// the reservation table, the pressure tracker and the bookkeeping
-	// slices from scratch.
 	height, err := sched.Heights(g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	liveInUses := life.LiveInUses(req.Loop)
-	var st *state
+	sw := &iiSweep{
+		req:        req,
+		mii:        mii.MII,
+		maxII:      maxII,
+		next:       mii.MII,
+		bestExcess: -1,
+	}
+	at := &attempter{
+		s:          s,
+		req:        req,
+		g:          g,
+		mii:        mii.MII,
+		maxSpills:  maxSpills,
+		height:     height,
+		liveInUses: life.LiveInUses(req.Loop),
+	}
+	return sw, at, nil
+}
 
-	firstComplete := 0
-	var best *sched.Schedule
-	bestExcess, bestII, stagnant := -1, 0, 0
-	for ii := mii.MII; ii <= maxII; {
-		// Cancellation checkpoint: one II attempt is bounded work (the
-		// force budget caps backtracking), so polling here keeps a
-		// timed-out compilation from finishing a search nobody awaits
-		// while costing nothing on the uncancellable batch path.
-		if err := req.Cancelled(); err != nil {
-			return nil, err
-		}
-		if st == nil {
-			st, err = newState(g, req.Machine, ii)
-			if err != nil {
-				return nil, err
-			}
-			st.rec = req.Recorder
-		}
-		if err := st.reset(req.Loop, g, ii, s.opts.MaxRetries, maxSpills, height, liveInUses); err != nil {
-			return nil, err
-		}
-		if st.rec != nil {
-			// Arg carries the MII on the first attempt so a profile can
-			// report the search's starting point without recomputing it.
-			mark := int64(0)
-			if ii == mii.MII {
-				mark = int64(mii.MII)
-			}
-			st.rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
-		}
-		out, completed, excess, err := s.tryII(st)
-		if err != nil {
-			return nil, err
-		}
-		if st.rec != nil {
-			hits, misses := st.wc.Stats()
-			st.rec.Emit(trace.Event{Kind: trace.KindCacheHit, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: hits})
-			st.rec.Emit(trace.Event{Kind: trace.KindCacheMiss, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: misses})
-			done := int64(0)
-			if completed && excess == 0 {
-				done = 1
-			}
-			st.rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: done, Aux: int64(excess)})
-		}
-		if completed && firstComplete == 0 {
-			firstComplete = ii
-		}
-		if out != nil && excess == 0 {
-			out.AddStat("ii_over_mii", ii-mii.MII)
-			out.AddStat("spill_ii_increase", ii-firstComplete)
-			return out, nil
-		}
-		if out != nil {
-			// Complete but overflowing: remember the least bad schedule.
-			if bestExcess == -1 || excess < bestExcess {
-				best, bestExcess, bestII, stagnant = out, excess, ii, 0
-			} else {
-				stagnant++
-			}
-		}
-		if stagnant >= stagnationLimit {
-			// Overflow plateau: probe geometrically, but never skip the
-			// horizon itself — maxII is where lifetimes span the fewest
-			// copies, so it is always worth one attempt before settling
-			// for an overflowing schedule.
-			next := ii + 1 + ii/2
-			if next > maxII && ii < maxII {
-				next = maxII
-			}
-			ii = next
+// iiSweep is the MIRS II search as a state machine: linear escalation
+// from MII, switching to geometric steps after stagnationLimit
+// consecutive overflowing candidates without improvement, tracking the
+// least overflowing complete schedule as the graceful-degradation
+// fallback. Candidate keys are the candidate IIs.
+type iiSweep struct {
+	req   *sched.Request
+	mii   int
+	maxII int
+	// firstComplete is the smallest II at which a complete placement
+	// existed, pressure aside — the baseline for spill_ii_increase.
+	firstComplete int
+	best          *sched.Schedule
+	bestExcess    int
+	bestII        int
+	stagnant      int
+	next          int
+	done          bool
+	out           *sched.Schedule
+	err           error
+}
+
+// Next implements sched.Sweep.
+func (w *iiSweep) Next() (int, bool) {
+	if w.done || w.next > w.maxII {
+		return 0, true
+	}
+	return w.next, false
+}
+
+// Speculate implements sched.Sweep: linear escalation is predicted
+// (next II, next+1, ...). The geometric stagnation jump is not — a
+// plateau deep enough to trigger it means every nearby candidate
+// overflows anyway, so the speculated attempts the jump skips are
+// wasted work the engine simply discards, never wrong answers.
+func (w *iiSweep) Speculate(dst []int, after, max int) []int {
+	if w.done {
+		return dst
+	}
+	for c := after + 1; c <= w.maxII && len(dst) < max; c++ {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// Consume implements sched.Sweep, folding one candidate's attempt into
+// the search exactly as the pre-split sequential loop did.
+func (w *iiSweep) Consume(cand int, a sched.Attempt) {
+	if w.done || cand != w.next {
+		return
+	}
+	if a.Err != nil {
+		w.err, w.done = a.Err, true
+		return
+	}
+	if a.Completed && w.firstComplete == 0 {
+		w.firstComplete = cand
+	}
+	if a.Schedule != nil && a.Excess == 0 {
+		a.Schedule.AddStat("ii_over_mii", cand-w.mii)
+		a.Schedule.AddStat("spill_ii_increase", cand-w.firstComplete)
+		w.out, w.done = a.Schedule, true
+		return
+	}
+	if a.Schedule != nil {
+		// Complete but overflowing: remember the least bad schedule.
+		if w.bestExcess == -1 || a.Excess < w.bestExcess {
+			w.best, w.bestExcess, w.bestII, w.stagnant = a.Schedule, a.Excess, cand, 0
 		} else {
-			ii++
+			w.stagnant++
 		}
 	}
-	if best != nil {
-		best.AddStat("ii_over_mii", bestII-mii.MII)
-		best.AddStat("spill_ii_increase", bestII-firstComplete)
-		best.AddStat("pressure_excess", bestExcess)
-		return best, nil
+	if w.stagnant >= stagnationLimit {
+		// Overflow plateau: probe geometrically, but never skip the
+		// horizon itself — maxII is where lifetimes span the fewest
+		// copies, so it is always worth one attempt before settling
+		// for an overflowing schedule.
+		next := cand + 1 + cand/2
+		if next > w.maxII && cand < w.maxII {
+			next = w.maxII
+		}
+		w.next = next
+	} else {
+		w.next = cand + 1
+	}
+}
+
+// Result implements sched.Sweep.
+func (w *iiSweep) Result() (*sched.Schedule, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.out != nil {
+		return w.out, nil
+	}
+	if w.best != nil {
+		w.best.AddStat("ii_over_mii", w.bestII-w.mii)
+		w.best.AddStat("spill_ii_increase", w.bestII-w.firstComplete)
+		w.best.AddStat("pressure_excess", w.bestExcess)
+		return w.best, nil
 	}
 	return nil, fmt.Errorf("mirs: no valid schedule for loop %q on %q within II <= %d",
-		req.Loop.Name, req.Machine.Name, maxII)
+		w.req.Loop.Name, w.req.Machine.Name, w.maxII)
+}
+
+// attempter runs one candidate II per call on its own pooled state,
+// sharing the per-request analyses (graph, MII, heights, live-in uses)
+// read-only with every other attempter of the same probe. The state is
+// built lazily so speculated-but-never-run attempters cost nothing.
+type attempter struct {
+	s          *Scheduler
+	req        *sched.Request
+	g          *ir.Graph
+	mii        int
+	maxSpills  int
+	height     []int
+	liveInUses [][]ir.VReg
+	st         *state
+}
+
+// AttemptII implements sched.Attempter: one candidate II on a freshly
+// reset state. ctx is the engine's per-probe cancellation, polled inside
+// the backtracking loop (state.poll) so a probe made redundant by a
+// lower II's success stops mid-fight instead of finishing a bounded but
+// possibly long ejection battle.
+func (at *attempter) AttemptII(ctx context.Context, ii int, rec trace.Recorder) sched.Attempt {
+	if at.st == nil {
+		st, err := newState(at.g, at.req.Machine, ii)
+		if err != nil {
+			return sched.Attempt{Err: err}
+		}
+		at.st = st
+	}
+	st := at.st
+	st.rec = rec
+	st.req = at.req
+	st.actx = ctx
+	st.steps = 0
+	st.vpolicy = at.s.opts.Victim
+	if err := st.reset(at.req.Loop, at.g, ii, at.s.opts.MaxRetries, at.maxSpills, at.height, at.liveInUses); err != nil {
+		return sched.Attempt{Err: err}
+	}
+	if rec != nil {
+		// Arg carries the MII on the first attempt so a profile can
+		// report the search's starting point without recomputing it.
+		mark := int64(0)
+		if ii == at.mii {
+			mark = int64(at.mii)
+		}
+		rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
+	}
+	out, completed, excess, err := at.s.tryII(st)
+	if err != nil {
+		return sched.Attempt{Err: err}
+	}
+	if rec != nil {
+		hits, misses := st.wc.Stats()
+		rec.Emit(trace.Event{Kind: trace.KindCacheHit, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: hits})
+		rec.Emit(trace.Event{Kind: trace.KindCacheMiss, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: misses})
+		done := int64(0)
+		if completed && excess == 0 {
+			done = 1
+		}
+		rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: done, Aux: int64(excess)})
+	}
+	return sched.Attempt{Schedule: out, Completed: completed, Excess: excess}
 }
 
 // tryII attempts one candidate II on a freshly reset state. On a
@@ -247,13 +414,21 @@ func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
 // residual register overflow — zero when every file fits, the summed
 // per-cluster excess when the spill machinery ran out of victims or
 // budget first. completed reports whether a full placement (pressure
-// aside) was ever reached at this II, which Schedule uses to attribute
+// aside) was ever reached at this II, which the sweep uses to attribute
 // II increases to spilling. A nil schedule with nil error means
 // "escalate II".
 func (s *Scheduler) tryII(st *state) (*sched.Schedule, bool, int, error) {
 	ii, m := st.ii, st.m
 	completed := false
 	for {
+		// Bounded cancellation latency inside the backtracking loop:
+		// ejection fights re-enter here once per placement, so a cancel
+		// (request deadline or engine probe-cancel) lands within a few
+		// dozen force-ejects even when one pathological II would churn
+		// for milliseconds more.
+		if err := st.poll(); err != nil {
+			return nil, completed, 0, err
+		}
 		u := st.nextUnplaced()
 		if u < 0 {
 			completed = true

@@ -16,9 +16,10 @@ import (
 // in-flight schedule across to the augmented loop so only the new spill
 // code needs placing.
 
-// victim selects the lifetime to spill from an over-pressure cluster,
-// following the paper's policy: prefer the longest lifetime, break ties
-// toward fewest uses (cheapest reload traffic). Live-in values consumed
+// victim selects the lifetime to spill from an over-pressure cluster.
+// Under the default VictimLongest policy it follows the paper: prefer
+// the longest lifetime, break ties toward fewest uses (cheapest reload
+// traffic); VictimFewestUses inverts the order. Live-in values consumed
 // on the cluster are candidates too — they hold a register on every
 // kernel cycle, making them the longest lifetimes of all, and they spill
 // for reloads only (id -1 in the result marks one). Lifetimes with only
@@ -39,11 +40,20 @@ func (st *state) victim(cluster, minLen int) (int, ir.VReg, bool) {
 		if a.carried != b.carried {
 			return !a.carried
 		}
-		if a.length != b.length {
-			return a.length > b.length
-		}
-		if a.uses != b.uses {
-			return a.uses < b.uses
+		if st.vpolicy == VictimFewestUses {
+			if a.uses != b.uses {
+				return a.uses < b.uses
+			}
+			if a.length != b.length {
+				return a.length > b.length
+			}
+		} else {
+			if a.length != b.length {
+				return a.length > b.length
+			}
+			if a.uses != b.uses {
+				return a.uses < b.uses
+			}
 		}
 		return a.id < b.id
 	}

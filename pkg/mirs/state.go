@@ -1,6 +1,7 @@
 package mirs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -83,6 +84,44 @@ type state struct {
 	// by a nil check so the disabled path constructs no events and
 	// allocates nothing.
 	rec trace.Recorder
+
+	// vpolicy is the spill-victim tie-break order (Options.Victim),
+	// rebound per attempt alongside rec.
+	vpolicy VictimPolicy
+
+	// Cancellation plumbing for poll: req carries the request's own
+	// deadline/cancel, actx — non-nil only under the parallel search
+	// engine — the per-probe cancel, and steps counts placement-loop
+	// iterations so the checks run every 64th step instead of every
+	// step. All three are rebound per attempt.
+	req   *sched.Request
+	actx  context.Context
+	steps int
+}
+
+// poll is the bounded-latency cancellation check inside the backtracking
+// loop. The fast path is one increment and one branch — no allocation,
+// no atomic — so the uncancellable batch path pays nothing measurable;
+// every 64th call it consults the request context and, under the
+// parallel engine, the per-probe context, so a cancel lands within 64
+// placement steps even when a single pathological II would otherwise
+// churn through a long ejection fight.
+func (st *state) poll() error {
+	st.steps++
+	if st.steps&63 != 0 {
+		return nil
+	}
+	if st.req != nil {
+		if err := st.req.Cancelled(); err != nil {
+			return err
+		}
+	}
+	if st.actx != nil {
+		if err := st.actx.Err(); err != nil {
+			return fmt.Errorf("mirs: probe cancelled: %w", err)
+		}
+	}
+	return nil
 }
 
 type defKey struct {

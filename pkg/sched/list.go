@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,21 +29,65 @@ func (ListScheduler) Name() string { return "list" }
 // Schedule.Validate; it returns an error only for invalid input (bad
 // loop/graph, unsupported op class, intra-iteration cycle) or when the
 // II search exceeds Request.MaxII.
+//
+// The search is expressed as the sweep/attempter pair Probe exposes,
+// driven here strictly in order — the same machine pkg/sched/search
+// drives speculatively, so the parallel path's output is this one's by
+// construction.
 func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
+	sw, at, err := ls.probe(req)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cand, done := sw.Next()
+		if done {
+			break
+		}
+		if err := req.Cancelled(); err != nil {
+			return nil, err
+		}
+		sw.Consume(cand, at.AttemptII(nil, cand, req.Recorder))
+	}
+	return sw.Result()
+}
+
+// Probe implements Prober: the list scheduler's II search as a
+// candidate-keyed sweep. Keys [0, span] are the normal multi-cluster
+// phase (II = MII + key); keys (span, 2*span+1] are the single-cluster
+// fallback phase at the same II range, present only when a sole cluster
+// covers the loop. The sweep and every attempter share the graph and
+// the placement order read-only; each attempter owns its reservation
+// table and placement scratch.
+func (ls ListScheduler) Probe(req *Request) (Sweep, func() Attempter, error) {
+	sw, at, err := ls.probe(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sw, func() Attempter {
+		cp := *at
+		cp.sc = nil // each attempter owns its scratch; lazily sized on first use
+		return &cp
+	}, nil
+}
+
+// probe performs the per-request analyses once and returns the concrete
+// sweep/attempter pair both Schedule and Probe drive.
+func (ls ListScheduler) probe(req *Request) (*listSweep, *listAttempter, error) {
 	if req.Loop == nil || req.Machine == nil {
-		return nil, fmt.Errorf("sched: list: request missing loop or machine")
+		return nil, nil, fmt.Errorf("sched: list: request missing loop or machine")
 	}
 	g, err := req.graph()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mii, err := req.mii(g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	order, err := placementOrder(g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	maxII := req.MaxII
 	if maxII <= 0 {
@@ -59,72 +104,183 @@ func (ls ListScheduler) Schedule(req *Request) (*Schedule, error) {
 			maxII = mii.MII
 		}
 	}
-	// One reservation table and one placement buffer serve the whole II
-	// search: tryII resets them per candidate instead of reallocating.
-	scratch, err := newListScratch(req.Machine, g, mii.MII)
-	if err != nil {
-		return nil, err
+	sw := &listSweep{
+		req:      req,
+		mii:      mii.MII,
+		maxII:    maxII,
+		span:     maxII - mii.MII,
+		fallback: soleClusterFor(req),
 	}
-	rec := req.Recorder
-	for ii := mii.MII; ii <= maxII; ii++ {
-		if err := req.Cancelled(); err != nil {
-			return nil, err
-		}
-		if rec != nil {
-			mark := int64(0)
-			if ii == mii.MII {
-				mark = int64(mii.MII)
-			}
-			rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
-		}
-		s, ok := ls.tryII(req, g, order, ii, -1, scratch)
-		valid := ok && s.Validate() == nil
-		if rec != nil {
-			completed := int64(0)
-			if valid {
-				completed = 1
-			}
-			rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: completed})
-		}
-		if valid {
-			s.AddStat("ii_over_mii", ii-mii.MII)
-			return s, nil
-		}
+	at := &listAttempter{
+		ls:       ls,
+		req:      req,
+		g:        g,
+		mii:      mii.MII,
+		span:     sw.span,
+		fallback: sw.fallback,
+		order:    order,
 	}
-	// Greedy cross-cluster placement can wedge itself on bus bandwidth
-	// at *every* II: a consumer's transfer must ride a bus at the cycle
-	// its already-placed producer's value leaves, and once ASAP packing
-	// has saturated that cycle no cluster choice helps — escalating II
-	// repacks the same early cycles and saturates them again. Fall back
-	// to a single cluster that supports every class the loop uses: with
-	// no cross-cluster dependences the bus constraint is vacuous, so a
-	// serial schedule always exists at some II within the horizon.
-	if ci := soleClusterFor(req); ci >= 0 {
-		for ii := mii.MII; ii <= maxII; ii++ {
-			if err := req.Cancelled(); err != nil {
-				return nil, err
-			}
-			if rec != nil {
-				rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: int32(ci), Cycle: -1, Reg: -1})
-			}
-			s, ok := ls.tryII(req, g, order, ii, ci, scratch)
-			valid := ok && s.Validate() == nil
-			if rec != nil {
-				completed := int64(0)
-				if valid {
-					completed = 1
-				}
-				rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: int32(ci), Cycle: -1, Reg: -1, Arg: completed})
-			}
-			if valid {
-				s.AddStat("ii_over_mii", ii-mii.MII)
-				s.AddStat("single_cluster_fallback", 1)
-				return s, nil
-			}
+	return sw, at, nil
+}
+
+// listSweep is the list scheduler's II search state: candidate keys
+// ascend through the normal phase and then — when a fallback cluster
+// exists — the single-cluster phase. Greedy cross-cluster placement can
+// wedge itself on bus bandwidth at *every* II: a consumer's transfer
+// must ride a bus at the cycle its already-placed producer's value
+// leaves, and once ASAP packing has saturated that cycle no cluster
+// choice helps — escalating II repacks the same early cycles and
+// saturates them again. The fallback phase retries on a single cluster
+// that supports every class the loop uses: with no cross-cluster
+// dependences the bus constraint is vacuous, so a serial schedule
+// always exists at some II within the horizon.
+type listSweep struct {
+	req      *Request
+	mii      int
+	maxII    int
+	span     int // maxII - mii: candidate keys per phase, minus one
+	fallback int // sole covering cluster for phase two, or -1
+	next     int
+	done     bool
+	out      *Schedule
+	err      error
+}
+
+// maxKey is the last candidate key of the search.
+func (w *listSweep) maxKey() int {
+	if w.fallback < 0 {
+		return w.span
+	}
+	return 2*w.span + 1
+}
+
+// decode maps a candidate key to its (II, restricted-cluster) pair;
+// onlyCluster is -1 in the normal phase.
+func (w *listSweep) decode(cand int) (ii, onlyCluster int) {
+	if cand <= w.span {
+		return w.mii + cand, -1
+	}
+	return w.mii + cand - w.span - 1, w.fallback
+}
+
+// Next implements Sweep.
+func (w *listSweep) Next() (int, bool) {
+	if w.done || w.next > w.maxKey() {
+		return 0, true
+	}
+	return w.next, false
+}
+
+// Speculate implements Sweep: the list search always advances by one
+// key, so prediction is exact up to the horizon.
+func (w *listSweep) Speculate(dst []int, after, max int) []int {
+	if w.done {
+		return dst
+	}
+	for c := after + 1; c <= w.maxKey() && len(dst) < max; c++ {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// Consume implements Sweep.
+func (w *listSweep) Consume(cand int, a Attempt) {
+	if w.done || cand != w.next {
+		return
+	}
+	if a.Err != nil {
+		w.err, w.done = a.Err, true
+		return
+	}
+	if a.Schedule != nil {
+		ii, only := w.decode(cand)
+		a.Schedule.AddStat("ii_over_mii", ii-w.mii)
+		if only >= 0 {
+			a.Schedule.AddStat("single_cluster_fallback", 1)
 		}
+		w.out, w.done = a.Schedule, true
+		return
+	}
+	w.next++
+}
+
+// Result implements Sweep.
+func (w *listSweep) Result() (*Schedule, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.out != nil {
+		return w.out, nil
 	}
 	return nil, fmt.Errorf("sched: list: no valid schedule for loop %q on %q within II <= %d",
-		req.Loop.Name, req.Machine.Name, maxII)
+		w.req.Loop.Name, w.req.Machine.Name, w.maxII)
+}
+
+// listAttempter runs one candidate key per call on its own scratch
+// (reservation table, placement buffers). The graph and placement order
+// are shared read-only with every other attempter of the same probe.
+type listAttempter struct {
+	ls       ListScheduler
+	req      *Request
+	g        *ir.Graph
+	mii      int
+	span     int
+	fallback int
+	order    []int
+	sc       *listScratch
+}
+
+// AttemptII implements Attempter. List attempts carry no backtracking,
+// so they are short and engine cancellation (ctx) is honoured at
+// attempt boundaries only — the coordinator simply discards the result
+// of a cancelled probe.
+func (at *listAttempter) AttemptII(ctx context.Context, cand int, rec trace.Recorder) Attempt {
+	if ctx != nil && ctx.Err() != nil {
+		return Attempt{Err: fmt.Errorf("sched: list: probe cancelled: %w", ctx.Err())}
+	}
+	if at.sc == nil {
+		sc, err := newListScratch(at.req.Machine, at.g, at.mii)
+		if err != nil {
+			return Attempt{Err: err}
+		}
+		at.sc = sc
+	}
+	ii := at.mii + cand
+	onlyCluster := -1
+	if cand > at.span {
+		ii = at.mii + cand - at.span - 1
+		onlyCluster = at.fallback
+	}
+	if rec != nil {
+		if onlyCluster < 0 {
+			mark := int64(0)
+			if ii == at.mii {
+				// Arg carries the MII on the first attempt so a profile can
+				// report the search's starting point without recomputing it.
+				mark = int64(at.mii)
+			}
+			rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
+		} else {
+			rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: int32(onlyCluster), Cycle: -1, Reg: -1})
+		}
+	}
+	s, ok := at.ls.tryII(at.req, at.g, at.order, ii, onlyCluster, at.sc, rec)
+	valid := ok && s.Validate() == nil
+	if rec != nil {
+		completed := int64(0)
+		if valid {
+			completed = 1
+		}
+		cl := int32(-1)
+		if onlyCluster >= 0 {
+			cl = int32(onlyCluster)
+		}
+		rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: cl, Cycle: -1, Reg: -1, Arg: completed})
+	}
+	if !valid {
+		return Attempt{}
+	}
+	return Attempt{Schedule: s, Completed: true}
 }
 
 // soleClusterFor returns the index of the cluster with the most
@@ -214,10 +370,11 @@ func placementOrder(g *ir.Graph) ([]int, error) {
 	return final, nil
 }
 
-// listScratch is the state one ListScheduler.Schedule call reuses across
-// its II search: the reservation table, the placement buffers and a
-// transfer scratch slice. Nothing in the per-candidate placement loop
-// allocates.
+// listScratch is the state one attempter reuses across its attempts:
+// the reservation table, the placement buffers and a transfer scratch
+// slice. Nothing in the per-candidate placement loop allocates. It is
+// mutable per-attempter state — never shared across goroutines (see the
+// Prober sharing contract).
 type listScratch struct {
 	mrt    *MRT
 	placed []bool
@@ -241,8 +398,10 @@ func newListScratch(m *machine.Machine, g *ir.Graph, ii int) (*listScratch, erro
 // onlyCluster restricts every placement to that cluster (the bus-free
 // fallback mode). ok=false means some instruction found no free slot
 // within its II-cycle window. On success the returned schedule owns a
-// fresh copy of the placements, so the scratch stays reusable.
-func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCluster int, sc *listScratch) (*Schedule, bool) {
+// fresh copy of the placements, so the scratch stays reusable. rec is
+// the attempt's recorder — per-probe under the parallel engine, the
+// request's own on the sequential path.
+func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCluster int, sc *listScratch, rec trace.Recorder) (*Schedule, bool) {
 	m := req.Machine
 	sc.mrt.Reset(ii)
 	mrt := sc.mrt
@@ -293,7 +452,7 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 			// No cluster had a free compatible slot inside the II-cycle
 			// probe window: the greedy equivalent of an empty deadline
 			// window, and where the attempt dies.
-			if rec := req.Recorder; rec != nil {
+			if rec != nil {
 				rec.Emit(trace.Event{Kind: trace.KindWindowMiss, II: int32(ii), Op: int32(id),
 					Cluster: -1, Cycle: -1, Reg: -1, Label: in.Op})
 			}
@@ -308,7 +467,7 @@ func (ls ListScheduler) tryII(req *Request, g *ir.Graph, order []int, ii, onlyCl
 		}
 		plc[id] = Placement{Cycle: best.cycle, Cluster: best.cluster, Slot: best.slot}
 		placed[id] = true
-		if rec := req.Recorder; rec != nil {
+		if rec != nil {
 			rec.Emit(trace.Event{Kind: trace.KindPlace, II: int32(ii), Op: int32(id),
 				Cluster: int32(best.cluster), Cycle: int32(best.cycle), Reg: -1})
 		}

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"context"
+
+	"github.com/paper-repo-growth/mirs/pkg/trace"
+)
+
+// This file defines the speculative-search contract: a backend's II
+// search split into a deterministic state machine (Sweep) and a pure
+// per-candidate attempt function (Attempter). The split is what lets
+// pkg/sched/search probe several candidate IIs concurrently without
+// changing a single output byte: the engine may *attempt* candidates in
+// any order and in parallel, but results are fed back to the sweep
+// strictly in the order the sweep asks for them, so the schedule (and
+// its stats, and its trace) is a pure function of (loop, machine,
+// options) — never of goroutine completion order. The sequential
+// backends drive the identical sweep/attempter pair with a trivial
+// in-order loop, so "parallel output equals sequential output" holds by
+// construction, not by a re-implementation kept in sync by hand.
+
+// Attempt is the outcome of scheduling one candidate (one candidate II,
+// or one phase-encoded candidate key — see Sweep). It must be a pure
+// function of (request, candidate): two attempts of the same candidate
+// return equivalent results and emit identical trace events, whichever
+// goroutine runs them.
+type Attempt struct {
+	// Schedule is the complete, Validate-clean schedule the attempt
+	// produced, or nil when the candidate yielded none. A backend that
+	// degrades gracefully (MIRS) may return a complete schedule whose
+	// register pressure still overflows; Excess reports the residue.
+	Schedule *Schedule
+	// Completed reports whether a full placement was reached at this
+	// candidate, pressure aside — the signal MIRS uses to attribute II
+	// increases to spilling rather than to resources.
+	Completed bool
+	// Excess is the summed per-cluster register overflow of Schedule;
+	// zero when every file fits.
+	Excess int
+	// Err is the attempt's failure: invalid input, an internal
+	// validation error, or a cancellation (the request's context or the
+	// engine's per-probe context).
+	Err error
+}
+
+// Success reports whether the attempt ended the search: a clean
+// schedule with no residual register overflow.
+func (a Attempt) Success() bool {
+	return a.Err == nil && a.Schedule != nil && a.Excess == 0
+}
+
+// Sweep is one II search as a deterministic state machine. Candidates
+// are integer keys, strictly increasing in the order Next returns them;
+// a key encodes whatever the backend escalates over (for the list
+// scheduler the single-cluster fallback phase rides in the key's upper
+// range). The contract the search engine relies on:
+//
+//   - Next/Consume alternate: every candidate Next returns is consumed
+//     exactly once, in order, before Next is called again. The sweep
+//     never sees attempts for candidates it did not ask for.
+//   - Speculate predicts candidates the sweep *may* ask for later.
+//     Wrong predictions cost wasted work, never wrong answers — the
+//     engine discards results the sweep does not request.
+//   - After Consume of a successful attempt (or the final candidate),
+//     Next reports done and Result returns the search's outcome.
+//
+// Sweep implementations are not safe for concurrent use; the engine
+// confines each sweep to its coordinating goroutine.
+type Sweep interface {
+	// Next returns the next candidate to attempt, or done=true when the
+	// search is decided (success, error, or candidates exhausted).
+	Next() (cand int, done bool)
+	// Speculate appends up to max candidate keys strictly greater than
+	// after that the sweep may request in the future, in ascending
+	// order, and returns the extended slice. It must not change the
+	// sweep's state.
+	Speculate(dst []int, after, max int) []int
+	// Consume folds the attempt of cand — the candidate the last Next
+	// returned — into the search state.
+	Consume(cand int, a Attempt)
+	// Result returns the finished search's schedule or error. Only
+	// valid once Next has reported done.
+	Result() (*Schedule, error)
+}
+
+// Attempter runs single-candidate attempts. Each Attempter owns its
+// mutable scheduler state (reservation table, pressure tracker, scratch
+// pools) and is confined to one goroutine at a time; the immutable
+// analyses behind it (graph, MII, heights) are shared read-only across
+// the attempters one Probe call hands out. See the "sharing contract"
+// note on Prober.
+type Attempter interface {
+	// AttemptII schedules candidate cand from a fresh per-candidate
+	// state. ctx, when non-nil, is the engine's per-probe cancellation
+	// — distinct from Request.Ctx — polled inside long backtracking
+	// fights so a probe made redundant by a lower II's success stops
+	// promptly; a cancelled attempt returns an Attempt whose Err wraps
+	// the context error. rec, when non-nil, receives the attempt's
+	// trace events; the engine hands each attempt a private buffer and
+	// replays the winning candidates' buffers into the caller's
+	// recorder in consume order, which is how exports stay
+	// byte-identical to a sequential run.
+	AttemptII(ctx context.Context, cand int, rec trace.Recorder) Attempt
+}
+
+// Prober is a Scheduler whose II search can be driven candidate by
+// candidate — the hook pkg/sched/search parallelises through.
+//
+// Sharing contract: Probe performs the per-request analyses once (graph
+// construction, MII, heights, priority orders) and the sweep plus every
+// attempter from the factory share them strictly read-only. All mutable
+// state — MRTs, pressure trackers, window caches, placement buffers,
+// spill-augmented loop clones — is owned by exactly one attempter, and
+// each attempter by one goroutine. The factory itself must be safe to
+// call from multiple goroutines.
+type Prober interface {
+	Scheduler
+	// Probe starts one search: the sweep, a factory minting
+	// independent attempters, or an error for invalid input (the same
+	// validation Schedule performs).
+	Probe(req *Request) (Sweep, func() Attempter, error)
+}
