@@ -40,6 +40,7 @@ import (
 
 	"github.com/paper-repo-growth/mirs/internal/core"
 	"github.com/paper-repo-growth/mirs/internal/driver"
+	"github.com/paper-repo-growth/mirs/internal/oracle"
 	"github.com/paper-repo-growth/mirs/internal/report"
 	"github.com/paper-repo-growth/mirs/pkg/gen"
 	"github.com/paper-repo-growth/mirs/pkg/ir"
@@ -133,11 +134,13 @@ func machinesByName(spec string) ([]*machine.Machine, error) {
 
 // backendsByName resolves a comma-separated backend list against the
 // core registry. "all" expands to every registered backend; "portfolio"
-// names the strategy-racing scheduler (core.Portfolio), which is
-// deliberately not part of "all" — its results duplicate whichever
-// strategy wins, so sweeping it alongside the real backends would
+// (the strategy-racing scheduler, core.Portfolio) and "opt" (the exact
+// SAT backend, core.Opt with optBudget conflicts per candidate II) are
+// resolvable by name but deliberately not part of "all" — the portfolio
+// duplicates whichever strategy wins, and opt's role is the optimality
+// yardstick, so sweeping either alongside the real backends would
 // double-count without informing.
-func backendsByName(spec string) ([]sched.Scheduler, error) {
+func backendsByName(spec string, optBudget int64) ([]sched.Scheduler, error) {
 	reg := core.Backends()
 	if spec == "all" {
 		return reg, nil
@@ -153,9 +156,13 @@ func backendsByName(spec string) ([]sched.Scheduler, error) {
 			out = append(out, core.Portfolio())
 			continue
 		}
+		if name == "opt" {
+			out = append(out, core.Opt(optBudget))
+			continue
+		}
 		b, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown backend %q (have: %s, portfolio, all)", name, strings.Join(backendNames(reg), ", "))
+			return nil, fmt.Errorf("unknown backend %q (have: %s, opt, portfolio, all)", name, strings.Join(backendNames(reg), ", "))
 		}
 		out = append(out, b)
 	}
@@ -181,6 +188,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	probes := fs.Int("probes", 1, "parallel candidate-II probes per compilation (outputs stay byte-identical)")
 	portfolio := fs.Bool("portfolio", false, "also sweep the strategy-racing portfolio backend")
 	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
+	budget := fs.Int64("budget", 0, "opt backend: conflict budget per candidate II (0 = default)")
 	timing := fs.Bool("timing", false, "include wall-clock fields (breaks byte-determinism)")
 	keep := fs.Bool("keep-outcomes", false, "retain every per-compilation outcome in the report")
 	strict := fs.Bool("strict", false, "exit 1 if any compilation fails")
@@ -195,7 +203,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "msched run: -trace-slowest and -trace-dir must be set together")
 		return 2
 	}
-	bes, err := backendsByName(*backends)
+	bes, err := backendsByName(*backends, *budget)
 	if err != nil {
 		fmt.Fprintln(stderr, "msched run:", err)
 		return 2
@@ -373,69 +381,200 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("msched compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline rows to gate against")
-	update := fs.Bool("update-baseline", false, "rewrite the baseline from current results instead of gating")
+	update := fs.Bool("update-baseline", false, "rewrite the baseline(s) from current results instead of gating")
 	seed := fs.Uint64("seed", 1, "generated-population seed (must match the baseline's)")
 	n := fs.Int("n", 120, "generated-population size (must match the baseline's)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
 	noPerf := fs.Bool("no-perf", false, "skip the benchmarked perf:examples rows (allocs/op gate)")
+	gap := fs.Bool("gap", false, "also build the optimality-gap table (opt vs mirs) and gate it vs -gap-baseline")
+	gapOnly := fs.Bool("gap-only", false, "run only the gap pipeline, skipping the quality and perf gates (implies -gap)")
+	gapBaseline := fs.String("gap-baseline", "GAP_baseline.json", "gap baseline to gate against")
+	gapOut := fs.String("gap-o", "", "write the gap artifact JSON to this file")
+	gapSeed := fs.Uint64("gap-seed", 1, "gap-corpus seed (must match the gap baseline's)")
+	gapN := fs.Int("gap-n", 24, "gap-corpus size (must match the gap baseline's)")
+	gapMaxOps := fs.Int("gap-max-ops", 12, "gap-corpus loop size bound in instructions")
+	budget := fs.Int64("budget", 0, "opt backend: conflict budget per candidate II (0 = default)")
+	oracleDir := fs.String("oracle-dir", "", "write minimised regression seeds for loops opt schedules but mirs fails")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	current, failed := gateRows(*seed, *n, *workers, *timeout, stderr)
-	if failed > 0 {
-		fmt.Fprintf(stderr, "msched compare: %d gate-corpus compilation(s) failed — fix the backends before gating or refreshing the baseline\n", failed)
-		return 1
+	if *gapOnly {
+		*gap = true
 	}
-	if *noPerf && *update {
-		// Refreshing the baseline without perf rows would silently strip
-		// them and disable the allocs/op gate for every later run.
-		fmt.Fprintln(stderr, "msched compare: -no-perf cannot be combined with -update-baseline (it would drop the perf rows from the baseline)")
+	if !*gap && (*gapOut != "" || *oracleDir != "") {
+		fmt.Fprintln(stderr, "msched compare: -gap-o and -oracle-dir need -gap (or -gap-only)")
 		return 2
 	}
-	if !*noPerf {
-		pf, err := perfRows()
-		if err != nil {
-			fmt.Fprintf(stderr, "msched compare: perf measurement: %v\n", err)
+	if !*gapOnly {
+		current, failed := gateRows(*seed, *n, *workers, *timeout, stderr)
+		if failed > 0 {
+			fmt.Fprintf(stderr, "msched compare: %d gate-corpus compilation(s) failed — fix the backends before gating or refreshing the baseline\n", failed)
 			return 1
 		}
-		current.Rows = append(current.Rows, pf.Rows...)
+		if *noPerf && *update {
+			// Refreshing the baseline without perf rows would silently strip
+			// them and disable the allocs/op gate for every later run.
+			fmt.Fprintln(stderr, "msched compare: -no-perf cannot be combined with -update-baseline (it would drop the perf rows from the baseline)")
+			return 2
+		}
+		if !*noPerf {
+			pf, err := perfRows()
+			if err != nil {
+				fmt.Fprintf(stderr, "msched compare: perf measurement: %v\n", err)
+				return 1
+			}
+			current.Rows = append(current.Rows, pf.Rows...)
+		}
+		if *update {
+			if err := current.WriteFile(*baseline); err != nil {
+				fmt.Fprintln(stderr, "msched compare:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "baseline %s updated: %d rows\n", *baseline, len(current.Rows))
+		} else {
+			base, err := report.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintf(stderr, "msched compare: %v\n(run 'msched compare -update-baseline' to create it)\n", err)
+				return 1
+			}
+			if *noPerf {
+				// The perf rows were not measured this run; drop them from the
+				// baseline too so they do not read as missing regressions.
+				kept := base.Rows[:0]
+				for _, r := range base.Rows {
+					if !strings.HasPrefix(r.Corpus, "perf:") {
+						kept = append(kept, r)
+					}
+				}
+				base.Rows = kept
+			}
+			regs, unbaselined := report.Compare(base, current)
+			for _, u := range unbaselined {
+				fmt.Fprintf(stdout, "note: %s has no baseline row yet (refresh with -update-baseline)\n", u)
+			}
+			if len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintln(stderr, "REGRESSION:", r)
+				}
+				fmt.Fprintf(stderr, "msched compare: %d quality regression(s) vs %s\n", len(regs), *baseline)
+				return 1
+			}
+			fmt.Fprintf(stdout, "quality gate clean: %d rows no worse than %s\n", len(base.Rows), *baseline)
+		}
 	}
-	if *update {
-		if err := current.WriteFile(*baseline); err != nil {
+	if *gap {
+		return compareGap(stdout, stderr, gapParams{
+			baseline: *gapBaseline, update: *update, out: *gapOut,
+			seed: *gapSeed, n: *gapN, maxOps: *gapMaxOps,
+			budget: *budget, workers: *workers, timeout: *timeout,
+			oracleDir: *oracleDir,
+		})
+	}
+	return 0
+}
+
+// gapParams carries the -gap* flag values into compareGap.
+type gapParams struct {
+	baseline  string
+	update    bool
+	out       string
+	seed      uint64
+	n, maxOps int
+	budget    int64
+	workers   int
+	timeout   time.Duration
+	oracleDir string
+}
+
+// compareGap builds the optimality-gap table — the exact backend vs
+// MIRS over the seeded small-loop corpus — prints it, optionally writes
+// the artifact and the oracle regression seeds, and gates (or
+// refreshes) the gap baseline.
+func compareGap(stdout, stderr io.Writer, p gapParams) int {
+	corpus := fmt.Sprintf("gap:seed=%d,n=%d,max-ops=%d", p.seed, p.n, p.maxOps)
+	loops := driver.GapCorpus(p.seed, p.n, p.maxOps)
+	if len(loops) < p.n {
+		fmt.Fprintf(stderr, "msched compare: gap corpus came up short (%d of %d loops within %d ops)\n", len(loops), p.n, p.maxOps)
+		return 1
+	}
+	ms, _ := machinesByName("all")
+	gf := driver.RunGap(corpus, loops, ms, driver.GapOptions{Budget: p.budget, Workers: p.workers, Timeout: p.timeout})
+	printGapTable(stdout, gf)
+	if p.out != "" {
+		if err := gf.WriteFile(p.out); err != nil {
 			fmt.Fprintln(stderr, "msched compare:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baseline %s updated: %d rows\n", *baseline, len(current.Rows))
+	}
+	if p.oracleDir != "" {
+		findings := oracle.FromGap(gf, loops, ms, p.budget, p.timeout)
+		names, err := oracle.WriteSeeds(p.oracleDir, findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "msched compare: oracle:", err)
+			return 1
+		}
+		for _, name := range names {
+			fmt.Fprintf(stdout, "oracle seed: %s (opt schedules it, mirs fails)\n", name)
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(stdout, "oracle sweep: no loops where opt fits and mirs fails")
+		}
+	}
+	if p.update {
+		if err := gf.WriteFile(p.baseline); err != nil {
+			fmt.Fprintln(stderr, "msched compare:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "gap baseline %s updated: %d rows\n", p.baseline, len(gf.Rows))
 		return 0
 	}
-	base, err := report.ReadFile(*baseline)
+	base, err := report.ReadGapFile(p.baseline)
 	if err != nil {
-		fmt.Fprintf(stderr, "msched compare: %v\n(run 'msched compare -update-baseline' to create it)\n", err)
+		fmt.Fprintf(stderr, "msched compare: %v\n(run 'msched compare -gap -update-baseline' to create it)\n", err)
 		return 1
 	}
-	if *noPerf {
-		// The perf rows were not measured this run; drop them from the
-		// baseline too so they do not read as missing regressions.
-		kept := base.Rows[:0]
-		for _, r := range base.Rows {
-			if !strings.HasPrefix(r.Corpus, "perf:") {
-				kept = append(kept, r)
-			}
+	if v := report.CompareGap(base, gf); len(v) > 0 {
+		for _, s := range v {
+			fmt.Fprintln(stderr, "GAP REGRESSION:", s)
 		}
-		base.Rows = kept
-	}
-	regs, unbaselined := report.Compare(base, current)
-	for _, u := range unbaselined {
-		fmt.Fprintf(stdout, "note: %s has no baseline row yet (refresh with -update-baseline)\n", u)
-	}
-	if len(regs) > 0 {
-		for _, r := range regs {
-			fmt.Fprintln(stderr, "REGRESSION:", r)
-		}
-		fmt.Fprintf(stderr, "msched compare: %d quality regression(s) vs %s\n", len(regs), *baseline)
+		fmt.Fprintf(stderr, "msched compare: %d gap regression(s) vs %s\n", len(v), p.baseline)
 		return 1
 	}
-	fmt.Fprintf(stdout, "quality gate clean: %d rows no worse than %s\n", len(base.Rows), *baseline)
+	fmt.Fprintf(stdout, "gap gate clean: %d rows no worse than %s\n", len(gf.Rows), p.baseline)
 	return 0
+}
+
+// printGapTable renders the per-loop gap table and its aggregate for
+// humans: opt's proved optimum (▲ marks an unproven, merely feasible
+// II) against MIRS, with the gap columns where a gap is defined.
+func printGapTable(w io.Writer, f *report.GapFile) {
+	s := f.Summary
+	fmt.Fprintf(w, "optimality gap (%s, budget %d): %d rows — %d proved (%d above MII), %d feasible, %d opt-failed, %d mirs-failed\n",
+		f.Corpus, f.Budget, s.Rows, s.Proved, s.ProvedAboveMII, s.Feasible, s.OptFailed, s.MirsFailed)
+	fmt.Fprintf(w, "%-20s %-15s %3s %4s %7s %5s %6s %7s\n",
+		"loop", "machine", "ops", "MII", "opt II", "mirs", "II-gap", "ML-gap")
+	for _, r := range f.Rows {
+		opt := "-"
+		switch {
+		case r.Proved:
+			opt = fmt.Sprintf("%d", r.OptII)
+		case r.OptII > 0:
+			opt = fmt.Sprintf("%d?", r.OptII)
+		}
+		mirs, iiGap, mlGap := "-", "-", "-"
+		if r.MirsErr == "" && r.MirsII > 0 {
+			mirs = fmt.Sprintf("%d", r.MirsII)
+		}
+		if r.Proved && r.MirsII > 0 {
+			iiGap = fmt.Sprintf("%+d", r.IIGap)
+			mlGap = fmt.Sprintf("%+d", r.MaxLiveGap)
+		}
+		fmt.Fprintf(w, "%-20s %-15s %3d %4d %7s %5s %6s %7s\n",
+			r.Loop, r.Machine, r.Ops, r.MII, opt, mirs, iiGap, mlGap)
+	}
+	if s.GapRows > 0 {
+		fmt.Fprintf(w, "aggregate over %d gap rows: ΣII-gap %+d (max %+d), ΣMaxLive-gap %+d\n",
+			s.GapRows, s.SumIIGap, s.MaxIIGap, s.SumMaxLiveGap)
+	}
 }

@@ -120,3 +120,105 @@ func TestCompareGateEndToEnd(t *testing.T) {
 		t.Fatalf("injected II regression not caught (code %d):\n%s", code, errOut)
 	}
 }
+
+// TestCompareGapEndToEnd drives the optimality-gap workflow through the
+// CLI: refresh the gap baseline, gate clean (byte-identical artifacts
+// across the two runs), then corrupt the baseline two ways — a changed
+// proved optimum and a tightened II gap — and require the gate to fail
+// naming the row.
+func TestCompareGapEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "gap_base.json")
+	o1, o2 := filepath.Join(dir, "gap1.json"), filepath.Join(dir, "gap2.json")
+	small := []string{"-gap-only", "-gap-n", "4", "-gap-baseline", base}
+
+	if code, _, errOut := capture(t, append([]string{"compare"}, small...)...); code != 1 || !strings.Contains(errOut, "-gap -update-baseline") {
+		t.Fatalf("missing gap baseline must fail with a refresh hint, got %d: %s", code, errOut)
+	}
+	if code, _, errOut := capture(t, append([]string{"compare", "-update-baseline"}, small...)...); code != 0 {
+		t.Fatalf("gap update-baseline failed: %s", errOut)
+	}
+	if code, out, errOut := capture(t, append([]string{"compare", "-gap-o", o1}, small...)...); code != 0 || !strings.Contains(out, "gap gate clean") {
+		t.Fatalf("gate against fresh gap baseline must pass, got %d: %s%s", code, out, errOut)
+	}
+	if code, _, errOut := capture(t, append([]string{"compare", "-gap-o", o2}, small...)...); code != 0 {
+		t.Fatalf("second gap run failed: %s", errOut)
+	}
+	a, _ := os.ReadFile(o1)
+	b, _ := os.ReadFile(o2)
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("gap artifacts differ across runs (or are empty)")
+	}
+
+	gf, err := report.ReadGapFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for i, r := range gf.Rows {
+		if r.Proved && r.MirsII > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no proved row in the gap baseline to corrupt")
+	}
+	// A baseline claiming a different proved optimum must read as an
+	// encoding-semantics alarm; a baseline claiming a smaller gap must
+	// read as a MIRS regression.
+	gf.Rows[victim].OptII++
+	if err := gf.WriteFile(base); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := capture(t, append([]string{"compare"}, small...)...); code != 1 || !strings.Contains(errOut, "optimal II changed") || !strings.Contains(errOut, gf.Rows[victim].Loop) {
+		t.Fatalf("changed proved optimum not caught (code %d):\n%s", code, errOut)
+	}
+	gf.Rows[victim].OptII--
+	gf.Rows[victim].IIGap--
+	if err := gf.WriteFile(base); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := capture(t, append([]string{"compare"}, small...)...); code != 1 || !strings.Contains(errOut, "II gap grew") {
+		t.Fatalf("grown II gap not caught (code %d):\n%s", code, errOut)
+	}
+
+	if code, _, errOut := capture(t, "compare", "-gap-o", o1); code != 2 || !strings.Contains(errOut, "need -gap") {
+		t.Fatalf("-gap-o without -gap must exit 2, got %d: %s", code, errOut)
+	}
+}
+
+// TestRunOptBackend pins the CLI wiring of the exact backend: resolvable
+// by name (but not part of "all"), honouring -budget, clean on a small
+// population.
+func TestRunOptBackend(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "opt.json")
+	code, _, errOut := capture(t, "run", "-backends", "opt", "-n", "6", "-machines", "unified", "-budget", "5000", "-strict", "-keep-outcomes", "-o", out)
+	if code != 0 {
+		t.Fatalf("run -backends opt failed: %s", errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Outcomes []struct {
+			Backend string         `json:"backend"`
+			Stats   map[string]int `json:"stats"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 6 {
+		t.Fatalf("want 6 outcomes, got %d", len(rep.Outcomes))
+	}
+	for _, o := range rep.Outcomes {
+		if o.Backend != "opt" {
+			t.Fatalf("backend = %q, want opt", o.Backend)
+		}
+		if _, ok := o.Stats["opt_proved"]; !ok {
+			t.Fatalf("outcome missing opt_proved stat: %+v", o.Stats)
+		}
+	}
+}

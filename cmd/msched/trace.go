@@ -53,7 +53,7 @@ func cmdTrace(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "msched trace:", err)
 		return 2
 	}
-	bes, err := backendsByName(*backend)
+	bes, err := backendsByName(*backend, 0)
 	if err != nil || len(bes) != 1 {
 		fmt.Fprintf(stderr, "msched trace: -backend must name exactly one backend: %v\n", err)
 		return 2

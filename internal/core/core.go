@@ -13,6 +13,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/ir"
 	"github.com/paper-repo-growth/mirs/pkg/machine"
 	"github.com/paper-repo-growth/mirs/pkg/mirs"
+	"github.com/paper-repo-growth/mirs/pkg/opt"
 	"github.com/paper-repo-growth/mirs/pkg/regpress"
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 	"github.com/paper-repo-growth/mirs/pkg/sched/search"
@@ -223,6 +224,17 @@ func CompileWithOpts(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *mach
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}
 	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek, ProbeStats: pstats}, nil
+}
+
+// Opt returns the exact SAT-based backend (pkg/opt) with the given
+// per-candidate-II conflict budget; budget <= 0 means opt.DefaultBudget.
+// Like Portfolio it resolves by name in the CLI ("-backend opt") but is
+// deliberately not part of Backends(): the quality gates sweep heuristic
+// backends over large corpora, while opt's role is the optimality-gap
+// table (`msched compare -gap`), where its per-loop proofs are the
+// yardstick the heuristics are measured against.
+func Opt(budget int64) sched.Scheduler {
+	return opt.New(opt.WithBudget(budget))
 }
 
 // Portfolio returns the stock heterogeneous strategy race

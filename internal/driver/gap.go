@@ -1,0 +1,143 @@
+// gap.go builds the optimality-gap table (internal/report.GapFile): it
+// sweeps a seeded small-loop population over {opt, mirs} × the gate
+// machines through the normal batch pool — panic isolation, timeouts
+// and all — and joins the per-compilation outcomes into per-loop rows
+// measuring MIRS's distance from the proved optimum.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/core"
+	"github.com/paper-repo-growth/mirs/internal/report"
+	"github.com/paper-repo-growth/mirs/pkg/gen"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/mirs"
+	"github.com/paper-repo-growth/mirs/pkg/opt"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// GapCorpus generates the seeded small-loop population the gap table
+// runs on: n loops cycling every generator knob corner with the Ops
+// knob clamped so bodies stay within maxOps instructions — small enough
+// that the exact backend proves optimality within the default budget,
+// diverse enough (memory-bound, recurrences, pressure, multi-def) that
+// the gap actually measures something. Loops are named gap%04d-<tag>,
+// deliberately distinct from the main corpus's g%04d names: a clamped
+// "pressure" loop is not the loop the trajectory rows call by that
+// index. The result is a pure function of (seed, n, maxOps); loop i is
+// independent of n, so growing the corpus keeps its prefix stable.
+func GapCorpus(seed uint64, n, maxOps int) []*ir.Loop {
+	if n <= 0 {
+		return nil
+	}
+	corners := gen.Corners()
+	out := make([]*ir.Loop, 0, n)
+	for i := 0; len(out) < n && i < 40*n; i++ {
+		k := corners[i%len(corners)]
+		// Leave headroom under maxOps: generated bodies carry a few
+		// instructions beyond the Ops knob (pointer updates, stores).
+		if lim := maxOps - 4; k.Ops > lim {
+			k.Ops = lim
+			if k.Ops < 1 {
+				k.Ops = 1
+			}
+		}
+		l := gen.Generate(gen.Mix(seed, i), k)
+		l.Name = fmt.Sprintf("gap%04d-%s", i, k.Tag)
+		if l.NumInstrs() <= maxOps {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// GapOptions tunes RunGap.
+type GapOptions struct {
+	// Budget is the per-candidate-II conflict budget handed to the exact
+	// backend; <= 0 means opt's default.
+	Budget int64
+	// Workers and Timeout pass through to the batch pool (Options).
+	Workers int
+	Timeout time.Duration
+}
+
+// RunGap compiles the population with both the exact backend and MIRS
+// on every machine and joins the outcomes into the gap table. Corpus
+// labels the population in the artifact (and is part of the baseline
+// identity). Failures do not abort the sweep: an opt or mirs failure
+// becomes that row's OptErr/MirsErr, visible in the artifact and
+// excluded from the gap columns.
+func RunGap(corpus string, loops []*ir.Loop, machines []*machine.Machine, o GapOptions) *report.GapFile {
+	optBE := core.Opt(o.Budget)
+	rep := Run(Spec{
+		Corpus:   corpus,
+		Loops:    loops,
+		Backends: []sched.Scheduler{optBE, mirs.New()},
+		Machines: machines,
+	}, Options{Workers: o.Workers, Timeout: o.Timeout, KeepOutcomes: true})
+
+	ops := make(map[string]int, len(loops))
+	for _, l := range loops {
+		ops[l.Name] = l.NumInstrs()
+	}
+	rows := map[string]*report.GapRow{}
+	ordered := []*report.GapRow{}
+	row := func(loop, mach string) *report.GapRow {
+		k := loop + "|" + mach
+		r := rows[k]
+		if r == nil {
+			r = &report.GapRow{Loop: loop, Machine: mach, Ops: ops[loop]}
+			rows[k] = r
+			ordered = append(ordered, r)
+		}
+		return r
+	}
+	for _, oc := range rep.Outcomes {
+		r := row(oc.Loop, oc.Machine)
+		switch oc.Backend {
+		case optBE.Name():
+			if oc.Err != "" {
+				r.OptErr = oc.Err
+				continue
+			}
+			r.MII = oc.MII
+			r.OptII = oc.II
+			r.OptMaxLive = oc.MaxLive
+			r.Proved = oc.Stats["opt_proved"] == 1
+			r.UnsatBelow = oc.Stats["opt_unsat_below"]
+		default: // mirs
+			if oc.Err != "" {
+				r.MirsErr = oc.Err
+				continue
+			}
+			if r.MII == 0 {
+				r.MII = oc.MII
+			}
+			r.MirsII = oc.II
+			r.MirsMaxLive = oc.MaxLive
+		}
+	}
+	f := &report.GapFile{Corpus: corpus, Budget: optBudget(o.Budget)}
+	for _, r := range ordered {
+		if r.Proved && r.MirsII > 0 {
+			r.IIGap = r.MirsII - r.OptII
+			r.MaxLiveGap = r.MirsMaxLive - r.OptMaxLive
+		}
+		f.Rows = append(f.Rows, *r)
+	}
+	f.Sort()
+	f.Recompute()
+	return f
+}
+
+// optBudget mirrors the exact backend's default resolution so the
+// artifact records the budget the proofs actually ran under.
+func optBudget(b int64) int64 {
+	if b <= 0 {
+		return opt.DefaultBudget
+	}
+	return b
+}

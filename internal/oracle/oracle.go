@@ -1,0 +1,193 @@
+// Package oracle turns optimality-gap findings into regression seeds:
+// any loop the exact backend (pkg/opt) schedules but MIRS fails is a
+// scheduler bug by construction — a feasible schedule exists, the
+// heuristic did not find one — so the sweep auto-minimises the loop
+// (greedy instruction removal while the failure reproduces) and writes
+// it as a JSON seed a test or `msched` invocation can replay. The
+// minimiser is fully deterministic: candidates are tried in a fixed
+// order and the predicate is a pure function of the loop, so the same
+// finding always reduces to the same seed.
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/core"
+	"github.com/paper-repo-growth/mirs/internal/report"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/mirs"
+)
+
+// Finding is one oracle hit: a (loop, machine) pair where opt proved a
+// schedule exists and MIRS failed to produce one, with the loop already
+// minimised.
+type Finding struct {
+	// Machine names the target the failure reproduces on.
+	Machine string `json:"machine"`
+	// OptII is the exact backend's II on the minimised loop — the
+	// schedule MIRS should have been able to find (or beat).
+	OptII int `json:"opt_ii"`
+	// MirsErr is MIRS's failure on the minimised loop.
+	MirsErr string `json:"mirs_err"`
+	// Loop is the minimised reproducer.
+	Loop *ir.Loop `json:"loop"`
+}
+
+// clone deep-copies a loop so the minimiser never aliases its input.
+func clone(l *ir.Loop) *ir.Loop {
+	out := &ir.Loop{Name: l.Name, Instrs: make([]*ir.Instruction, len(l.Instrs))}
+	for i, in := range l.Instrs {
+		cp := &ir.Instruction{ID: in.ID, Op: in.Op, Class: in.Class}
+		cp.Defs = append([]ir.VReg(nil), in.Defs...)
+		cp.Uses = append([]ir.VReg(nil), in.Uses...)
+		if in.CarriedUses != nil {
+			cp.CarriedUses = make(map[ir.VReg]int, len(in.CarriedUses))
+			for v, d := range in.CarriedUses {
+				cp.CarriedUses[v] = d
+			}
+		}
+		out.Instrs[i] = cp
+	}
+	return out
+}
+
+// removeInstr returns l minus instruction idx, IDs renumbered to stay
+// contiguous. Removing a def is always well-formed in this IR: the
+// register's remaining uses read a value defined outside the body,
+// i.e. it becomes a live-in.
+func removeInstr(l *ir.Loop, idx int) *ir.Loop {
+	out := &ir.Loop{Name: l.Name, Instrs: make([]*ir.Instruction, 0, len(l.Instrs)-1)}
+	src := clone(l)
+	for _, in := range src.Instrs {
+		if in.ID == idx {
+			continue
+		}
+		in.ID = len(out.Instrs)
+		out.Instrs = append(out.Instrs, in)
+	}
+	return out
+}
+
+// Minimize greedily shrinks l while keep still holds: it tries removing
+// each instruction in ascending ID order, restarts the scan after every
+// successful removal, and stops at a 1-minimal loop — no single
+// instruction can be removed without losing the property. keep must be
+// a pure function of the loop; it is never called on a loop that fails
+// ir.Loop.Validate. The input is never mutated.
+func Minimize(l *ir.Loop, keep func(*ir.Loop) bool) *ir.Loop {
+	cur := clone(l)
+	for {
+		shrunk := false
+		for i := 0; i < len(cur.Instrs); i++ {
+			cand := removeInstr(cur, i)
+			if len(cand.Instrs) == 0 || cand.Validate() != nil {
+				continue
+			}
+			if keep(cand) {
+				cur, shrunk = cand, true
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// repro is the oracle predicate: opt compiles the loop clean and MIRS
+// errors out. Each side runs under its own timeout so a pathological
+// candidate costs bounded wall clock; a timeout counts as "no repro"
+// (conservative — the minimiser keeps the larger loop).
+func repro(l *ir.Loop, m *machine.Machine, budget int64, timeout time.Duration) (optII int, mirsErr string, ok bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	r, err := core.CompileSafeWith(ctx, core.Opt(budget), l, m, core.Opts{})
+	cancel()
+	if err != nil {
+		return 0, "", false
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	_, merr := core.CompileSafeWith(ctx, mirs.New(), l, m, core.Opts{})
+	cancel()
+	if merr == nil || ctx.Err() != nil {
+		return 0, "", false
+	}
+	return r.Schedule.II, merr.Error(), true
+}
+
+// FromGap sweeps a gap table for oracle material — rows whose MIRS side
+// failed while opt produced a schedule — re-confirms each against the
+// live backends and returns the minimised findings, in row order. loops
+// must be the population the table was built from (matched by name);
+// machines likewise. Rows whose failure does not reproduce (e.g. the
+// original failure was a timeout) are skipped, not reported.
+func FromGap(f *report.GapFile, loops []*ir.Loop, machines []*machine.Machine, budget int64, timeout time.Duration) []Finding {
+	byName := map[string]*ir.Loop{}
+	for _, l := range loops {
+		byName[l.Name] = l
+	}
+	byMach := map[string]*machine.Machine{}
+	for _, m := range machines {
+		byMach[m.Name] = m
+	}
+	var out []Finding
+	for _, r := range f.Rows {
+		if r.MirsErr == "" || r.OptII == 0 {
+			continue
+		}
+		l, m := byName[r.Loop], byMach[r.Machine]
+		if l == nil || m == nil {
+			continue
+		}
+		if _, _, ok := repro(l, m, budget, timeout); !ok {
+			continue
+		}
+		min := Minimize(l, func(c *ir.Loop) bool {
+			_, _, ok := repro(c, m, budget, timeout)
+			return ok
+		})
+		min.Name = l.Name + "-min"
+		ii, merr, ok := repro(min, m, budget, timeout)
+		if !ok {
+			// The minimum must still reproduce by construction; a miss here
+			// means the predicate is flaky (timeout noise) — fall back to
+			// the unminimised loop.
+			min = clone(l)
+			min.Name = l.Name + "-min"
+			ii, merr, _ = repro(min, m, budget, timeout)
+		}
+		out = append(out, Finding{Machine: m.Name, OptII: ii, MirsErr: merr, Loop: min})
+	}
+	return out
+}
+
+// WriteSeeds writes each finding as an indented JSON seed file
+// <loop>-<machine>.json under dir (created if needed) and returns the
+// sorted file names. Seeds round-trip through encoding/json back into a
+// Finding, so a regression test can replay them directly.
+func WriteSeeds(dir string, findings []Finding) ([]string, error) {
+	if len(findings) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	var names []string
+	for _, f := range findings {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return names, fmt.Errorf("oracle: marshal %s: %w", f.Loop.Name, err)
+		}
+		name := fmt.Sprintf("%s-%s.json", f.Loop.Name, f.Machine)
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return names, fmt.Errorf("oracle: %w", err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/mirs/internal/driver"
+	"github.com/paper-repo-growth/mirs/internal/report"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+)
+
+// TestMinimizeReducesToCore pins the minimiser: with a predicate that
+// only needs the two mul instructions, everything else is stripped, IDs
+// are renumbered contiguously, and the input loop is untouched.
+func TestMinimizeReducesToCore(t *testing.T) {
+	l := ir.FIR8() // 8 muls, 7 adds, 1 load — plenty to strip
+	muls := func(c *ir.Loop) int {
+		n := 0
+		for _, in := range c.Instrs {
+			if in.Class == machine.ClassMul {
+				n++
+			}
+		}
+		return n
+	}
+	before := l.NumInstrs()
+	min := Minimize(l, func(c *ir.Loop) bool { return muls(c) >= 2 })
+	if l.NumInstrs() != before {
+		t.Fatal("input loop was mutated")
+	}
+	if got := muls(min); got != 2 {
+		t.Fatalf("minimised loop has %d muls, want exactly 2 (1-minimal)", got)
+	}
+	if min.NumInstrs() != 2 {
+		t.Fatalf("minimised loop has %d instrs, want 2", min.NumInstrs())
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimised loop invalid: %v", err)
+	}
+}
+
+// TestMinimizeDeterministic: same input and predicate, same reduction.
+func TestMinimizeDeterministic(t *testing.T) {
+	pred := func(c *ir.Loop) bool { return c.NumInstrs() >= 3 }
+	a := Minimize(ir.Hydro(), pred)
+	b := Minimize(ir.Hydro(), pred)
+	if a.NumInstrs() != b.NumInstrs() {
+		t.Fatalf("reductions diverged: %d vs %d instrs", a.NumInstrs(), b.NumInstrs())
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i].String() != b.Instrs[i].String() {
+			t.Fatalf("instruction %d diverged: %s vs %s", i, a.Instrs[i], b.Instrs[i])
+		}
+	}
+}
+
+// TestFromGapNoFindings: on the healthy gap corpus MIRS compiles
+// everything, so the sweep must come back empty (and not invent work).
+func TestFromGapNoFindings(t *testing.T) {
+	loops := driver.GapCorpus(1, 4, 12)
+	ms := []*machine.Machine{machine.Unified()}
+	f := driver.RunGap("gap:test", loops, ms, driver.GapOptions{})
+	if got := FromGap(f, loops, ms, 0, 5*time.Second); len(got) != 0 {
+		t.Fatalf("unexpected findings on a healthy corpus: %+v", got)
+	}
+}
+
+// TestFromGapSkipsStaleRows: a row claiming a MIRS failure that does
+// not reproduce against the live backend is dropped, not reported.
+func TestFromGapSkipsStaleRows(t *testing.T) {
+	loops := driver.GapCorpus(1, 1, 12)
+	ms := []*machine.Machine{machine.Unified()}
+	f := &report.GapFile{Rows: []report.GapRow{{
+		Loop: loops[0].Name, Machine: "unified", OptII: 1, MirsErr: "stale failure",
+	}}}
+	if got := FromGap(f, loops, ms, 0, 5*time.Second); len(got) != 0 {
+		t.Fatalf("stale row reported: %+v", got)
+	}
+}
+
+// TestWriteSeedsRoundTrip pins the seed format: files land under dir
+// with deterministic names and unmarshal back into an equal finding.
+func TestWriteSeedsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fd := Finding{Machine: "tight", OptII: 2, MirsErr: "boom", Loop: ir.DotProduct()}
+	names, err := WriteSeeds(dir, []Finding{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "dotprod-tight.json" {
+		t.Fatalf("names = %v", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Finding
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != fd.Machine || back.OptII != fd.OptII || back.Loop.NumInstrs() != fd.Loop.NumInstrs() {
+		t.Fatalf("round trip changed the finding: %+v", back)
+	}
+	if err := back.Loop.Validate(); err != nil {
+		t.Fatalf("round-tripped loop invalid: %v", err)
+	}
+
+	// No findings — no directory churn, no error.
+	if names, err := WriteSeeds(filepath.Join(dir, "never"), nil); err != nil || names != nil {
+		t.Fatalf("empty write: %v %v", names, err)
+	}
+}

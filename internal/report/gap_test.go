@@ -1,0 +1,158 @@
+package report
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gapFixture builds a small canonical gap table used across the tests.
+func gapFixture() *GapFile {
+	f := &GapFile{
+		Corpus: "gap:seed=1,n=3,max-ops=12",
+		Budget: 10000,
+		Rows: []GapRow{
+			{Loop: "gap0000-balanced", Machine: "unified", Ops: 11, MII: 3, OptII: 3, Proved: true, OptMaxLive: 7, MirsII: 3, MirsMaxLive: 6},
+			{Loop: "gap0001-tiny", Machine: "unified", Ops: 6, MII: 2, OptII: 3, Proved: true, UnsatBelow: 1, OptMaxLive: 4, MirsII: 4, MirsMaxLive: 4, IIGap: 1},
+			{Loop: "gap0002-wide", Machine: "tight", Ops: 11, MII: 4, OptII: 5, MirsII: 5, MirsMaxLive: 9},
+		},
+	}
+	f.Recompute()
+	return f
+}
+
+// TestGapRecompute pins the summary arithmetic: proved/feasible splits,
+// the UNSAT-at-MII count, and gap aggregation only over proved rows
+// with a MIRS result.
+func TestGapRecompute(t *testing.T) {
+	f := gapFixture()
+	s := f.Summary
+	if s.Rows != 3 || s.Proved != 2 || s.Feasible != 1 || s.OptFailed != 0 {
+		t.Fatalf("summary counts wrong: %+v", s)
+	}
+	if s.ProvedAboveMII != 1 {
+		t.Fatalf("ProvedAboveMII = %d, want 1 (gap0001 proved II 3 > MII 2)", s.ProvedAboveMII)
+	}
+	if s.GapRows != 2 || s.SumIIGap != 1 || s.MaxIIGap != 1 {
+		t.Fatalf("gap aggregation wrong: %+v", s)
+	}
+}
+
+// TestGapRoundTrip pins the artifact byte layout: marshal is
+// deterministic, and write/read round-trips the file unchanged.
+func TestGapRoundTrip(t *testing.T) {
+	f := gapFixture()
+	a, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("marshal is not deterministic")
+	}
+	path := filepath.Join(t.TempDir(), "gap.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", a, c)
+	}
+}
+
+// TestCompareGapClean: identical tables gate clean, and so do strict
+// improvements (new proof, shrunk gap).
+func TestCompareGapClean(t *testing.T) {
+	if v := CompareGap(gapFixture(), gapFixture()); len(v) != 0 {
+		t.Fatalf("identical tables flagged: %v", v)
+	}
+	better := gapFixture()
+	better.Rows[1].MirsII = 3 // gap closed
+	better.Rows[1].IIGap = 0
+	better.Rows[2].Proved = true // new proof
+	better.Recompute()
+	if v := CompareGap(gapFixture(), better); len(v) != 0 {
+		t.Fatalf("improvements flagged: %v", v)
+	}
+}
+
+// TestCompareGapViolations pins the three per-row gates: proof lost,
+// proved optimum changed, gap grown.
+func TestCompareGapViolations(t *testing.T) {
+	lost := gapFixture()
+	lost.Rows[1].Proved = false
+	lost.Recompute()
+	if v := CompareGap(gapFixture(), lost); len(v) != 1 || !strings.Contains(v[0], "proof lost") {
+		t.Fatalf("proof loss not caught: %v", v)
+	}
+
+	changed := gapFixture()
+	changed.Rows[1].OptII = 2
+	changed.Recompute()
+	if v := CompareGap(gapFixture(), changed); len(v) != 1 || !strings.Contains(v[0], "optimal II changed") {
+		t.Fatalf("optimum change not caught: %v", v)
+	}
+
+	grew := gapFixture()
+	grew.Rows[1].MirsII = 5
+	grew.Rows[1].IIGap = 2
+	grew.Recompute()
+	if v := CompareGap(gapFixture(), grew); len(v) != 1 || !strings.Contains(v[0], "II gap grew 1 -> 2") {
+		t.Fatalf("gap growth not caught: %v", v)
+	}
+}
+
+// TestCompareGapPopulation pins the satellite fix: a population change
+// must name the missing and extra row keys (first 5 of each), not just
+// report a bare mismatch.
+func TestCompareGapPopulation(t *testing.T) {
+	cur := gapFixture()
+	cur.Rows = cur.Rows[1:] // drop gap0000-balanced|unified
+	cur.Rows = append(cur.Rows, GapRow{Loop: "gap0009-new", Machine: "tight", MII: 1, OptII: 1, Proved: true})
+	cur.Recompute()
+	v := CompareGap(gapFixture(), cur)
+	if len(v) != 1 {
+		t.Fatalf("want one population violation, got %v", v)
+	}
+	for _, want := range []string{"gap0000-balanced|unified", "gap0009-new|tight", "missing", "extra"} {
+		if !strings.Contains(v[0], want) {
+			t.Fatalf("population message missing %q: %s", want, v[0])
+		}
+	}
+
+	// Above 5 differing keys the message truncates rather than flooding.
+	big := gapFixture()
+	for i := 0; i < 8; i++ {
+		big.Rows = append(big.Rows, GapRow{Loop: "extra", Machine: string(rune('a' + i)), OptII: 1, Proved: true})
+	}
+	big.Recompute()
+	v = CompareGap(gapFixture(), big)
+	if len(v) != 1 || !strings.Contains(v[0], "8 unbaselined row(s)") || !strings.Contains(v[0], ", ...") {
+		t.Fatalf("truncation missing: %v", v)
+	}
+}
+
+// TestCompareGapIdentity pins the structural gates: a corpus or budget
+// change fails before any row comparison.
+func TestCompareGapIdentity(t *testing.T) {
+	other := gapFixture()
+	other.Corpus = "gap:seed=2,n=3,max-ops=12"
+	if v := CompareGap(gapFixture(), other); len(v) != 1 || !strings.Contains(v[0], "corpus changed") {
+		t.Fatalf("corpus change not caught: %v", v)
+	}
+	rebudget := gapFixture()
+	rebudget.Budget = 999
+	if v := CompareGap(gapFixture(), rebudget); len(v) != 1 || !strings.Contains(v[0], "budget changed") {
+		t.Fatalf("budget change not caught: %v", v)
+	}
+}

@@ -1,0 +1,489 @@
+package opt
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/opt/sat"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// This file is the CNF encoder: "is there a valid modulo schedule at
+// exactly this II?" as a SAT instance, one per candidate II. The shape
+// follows Roorda's SMT formulation and SAT-MapIt's CNF lowering (see
+// docs/OPTIMALITY.md and docs/PAPER_MAP.md §13): per-instruction issue
+// variables over a bounded flat horizon, an order-encoding ladder that
+// yields both at-most-one and O(H) dependence clauses per edge, residue
+// variables channeling issue cycles into the modulo reservation table,
+// unit/cluster variables for the clustered dimension, and
+// sequential-counter cardinality for the bus bandwidth cap.
+//
+// Soundness and completeness both reduce to Schedule.Validate: every
+// model decodes to a schedule that must pass the oracle (checked on
+// every decode, fuzzed in FuzzOptAgreesWithValidate), and an UNSAT
+// answer certifies no schedule exists at that II *within the flat
+// horizon* H = II + Σ_i (latency_i + busLatency). The horizon loses no
+// schedules: shifting any single instruction of a valid schedule by a
+// multiple of II preserves its modulo reservation slot, its bus residue
+// and every dependence slack, so any valid schedule can be normalised —
+// instruction by instruction, earliest residue-preserving start first —
+// into one where each start exceeds some predecessor-chain bound; chain
+// weights sum each instruction's latency+bus at most once, which is
+// exactly the horizon pad.
+type analysis struct {
+	req   *sched.Request
+	g     *ir.Graph
+	mii   sched.MII
+	maxII int
+	n     int
+
+	units   []unitRef // global unit order: clusters in order, slots in order
+	compat  [][]int   // per instruction: global unit ids supporting its class
+	unitIdx [][]int   // per instruction: global unit id -> compat index, -1
+	lat     []int     // per instruction: result latency of its class
+	busLat  int
+	busCap  int
+	nclust  int
+	groups  []xferGroup // potential cross-cluster transfer groups
+	pad     int         // horizon pad: H(ii) = ii + pad
+	symm    bool        // clusters are interchangeable (symmetry breaking applies)
+}
+
+type unitRef struct{ cluster, slot int }
+
+// xferGroup is one potential bus transfer key (producer, register): all
+// consumers of that value in one destination cluster share a broadcast,
+// so bus occupancy is counted per (group, destination cluster).
+type xferGroup struct {
+	from int
+	reg  ir.VReg
+	cons []int // consumer instruction ids, From != To
+}
+
+func newAnalysis(req *sched.Request, g *ir.Graph, mii sched.MII, maxII int) *analysis {
+	m := req.Machine
+	a := &analysis{
+		req:    req,
+		g:      g,
+		mii:    mii,
+		maxII:  maxII,
+		n:      req.Loop.NumInstrs(),
+		busLat: m.BusLatency(),
+		busCap: m.BusCount(),
+		nclust: m.NumClusters(),
+	}
+	for ci := range m.Clusters {
+		for si := range m.Clusters[ci].Units {
+			a.units = append(a.units, unitRef{ci, si})
+		}
+	}
+	a.compat = make([][]int, a.n)
+	a.unitIdx = make([][]int, a.n)
+	a.lat = make([]int, a.n)
+	for i, in := range req.Loop.Instrs {
+		a.lat[i] = m.Latency(in.Class)
+		a.unitIdx[i] = make([]int, len(a.units))
+		for u := range a.unitIdx[i] {
+			a.unitIdx[i][u] = -1
+		}
+		for u, ur := range a.units {
+			if m.Clusters[ur.cluster].Units[ur.slot].Supports(in.Class) {
+				a.unitIdx[i][u] = len(a.compat[i])
+				a.compat[i] = append(a.compat[i], u)
+			}
+		}
+		a.pad += a.lat[i] + a.busLat
+	}
+	if a.nclust > 1 {
+		a.symm = clustersInterchangeable(m)
+		// Transfer groups in first-appearance edge order — a fixed order
+		// so variable numbering (and therefore the whole solver run) is
+		// deterministic.
+		idx := map[[2]int]int{}
+		for ei := range g.Edges {
+			e := &g.Edges[ei]
+			if e.Kind != ir.DepTrue || e.From == e.To {
+				continue
+			}
+			k := [2]int{e.From, int(e.Reg)}
+			gi, ok := idx[k]
+			if !ok {
+				gi = len(a.groups)
+				idx[k] = gi
+				a.groups = append(a.groups, xferGroup{from: e.From, reg: e.Reg})
+			}
+			a.groups[gi].cons = append(a.groups[gi].cons, e.To)
+		}
+	}
+	return a
+}
+
+// clustersInterchangeable reports whether every cluster carries the
+// same unit shape slot by slot (same class sets in the same order).
+// Buses are a machine-wide pool and the encoder ignores register files,
+// so relabeling clusters of such a machine maps valid schedules to
+// valid schedules — the precondition for the symmetry-breaking clauses.
+func clustersInterchangeable(m *machine.Machine) bool {
+	if len(m.Clusters) < 2 {
+		return false
+	}
+	c0 := &m.Clusters[0]
+	for ci := 1; ci < len(m.Clusters); ci++ {
+		c := &m.Clusters[ci]
+		if len(c.Units) != len(c0.Units) {
+			return false
+		}
+		for ui := range c.Units {
+			a, b := c0.Units[ui].Classes, c.Units[ui].Classes
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// encoder holds the variable layout of one candidate-II instance.
+type encoder struct {
+	s   *sat.Solver
+	ana *analysis
+	ii  int
+	h   int     // flat horizon: cycles in [0, h)
+	x   [][]int // x[i][t]: instruction i issues at flat cycle t
+	a   [][]int // a[i][t], t in [1,h): start(i) >= t (order-encoding ladder)
+	m   [][]int // m[i][r]: issue cycle ≡ r (mod ii); one-directional channel
+	p   [][]int // p[i][k]: i runs on compat[i][k]
+	c   [][]int // c[i][cl]: i's cluster (nclust > 1 only); exact by AMO+channel
+	tr  [][]int // tr[gi][cl]: group gi delivers its value into cluster cl
+}
+
+// newEncoder builds the full CNF for "a valid schedule exists at exactly
+// ii" on a fresh solver.
+func newEncoder(ana *analysis, ii int) *encoder {
+	e := &encoder{s: sat.New(), ana: ana, ii: ii, h: ii + ana.pad}
+	e.allocVars()
+	e.instrClauses()
+	e.dependenceClauses()
+	e.resourceClauses()
+	e.busClauses()
+	e.symmetryClauses()
+	return e
+}
+
+// symmetryClauses breaks the cluster-relabeling symmetry on machines
+// whose clusters are interchangeable: instruction i may open cluster j
+// only if an earlier instruction already sits on cluster j-1, so the
+// clusters are first used in index order. Any valid schedule has
+// exactly one relabeling satisfying this, so satisfiability — the only
+// thing the sweep asks — is untouched, while UNSAT proofs shrink by up
+// to a factor of (number of clusters)!.
+func (e *encoder) symmetryClauses() {
+	ana := e.ana
+	if !ana.symm {
+		return
+	}
+	lits := make([]sat.Lit, 0, ana.n+1)
+	for i := 0; i < ana.n; i++ {
+		for j := 1; j < ana.nclust; j++ {
+			lits = lits[:0]
+			lits = append(lits, sat.Neg(e.c[i][j]))
+			for prev := 0; prev < i; prev++ {
+				lits = append(lits, sat.Pos(e.c[prev][j-1]))
+			}
+			e.s.AddClause(lits...)
+		}
+	}
+}
+
+// allocVars lays out every variable in a fixed order; determinism of the
+// whole solve depends on this order never varying between runs.
+func (e *encoder) allocVars() {
+	ana, n := e.ana, e.ana.n
+	newRow := func(k int) []int {
+		row := make([]int, k)
+		for j := range row {
+			row[j] = e.s.NewVar()
+		}
+		return row
+	}
+	e.x = make([][]int, n)
+	e.a = make([][]int, n)
+	e.m = make([][]int, n)
+	e.p = make([][]int, n)
+	if ana.nclust > 1 {
+		e.c = make([][]int, n)
+	}
+	for i := 0; i < n; i++ {
+		e.x[i] = newRow(e.h)
+		e.a[i] = newRow(e.h) // index 0 unused (start >= 0 is vacuous)
+		e.m[i] = newRow(e.ii)
+		e.p[i] = newRow(len(ana.compat[i]))
+		if ana.nclust > 1 {
+			e.c[i] = newRow(ana.nclust)
+		}
+	}
+	if ana.nclust > 1 {
+		e.tr = make([][]int, len(ana.groups))
+		for gi := range ana.groups {
+			e.tr[gi] = newRow(ana.nclust)
+		}
+	}
+}
+
+// aGe returns the literal for "start(i) >= t" plus a constant marker:
+// +1 when the bound is vacuously true (t <= 0), -1 when it is
+// unsatisfiable within the horizon (t >= h).
+func (e *encoder) aGe(i, t int) (sat.Lit, int) {
+	if t <= 0 {
+		return 0, 1
+	}
+	if t >= e.h {
+		return 0, -1
+	}
+	return sat.Pos(e.a[i][t]), 0
+}
+
+// instrClauses emits the per-instruction structure: at-least-one issue
+// cycle, the ladder (whose channeling makes at-most-one free), residue
+// channeling, and exactly-one functional unit with cluster channeling.
+func (e *encoder) instrClauses() {
+	ana := e.ana
+	lits := make([]sat.Lit, 0, e.h)
+	for i := 0; i < ana.n; i++ {
+		lits = lits[:0]
+		for t := 0; t < e.h; t++ {
+			lits = append(lits, sat.Pos(e.x[i][t]))
+		}
+		e.s.AddClause(lits...)
+		// Ladder coherence: start >= t+1 implies start >= t.
+		for t := 1; t+1 < e.h; t++ {
+			e.s.AddClause(sat.Neg(e.a[i][t+1]), sat.Pos(e.a[i][t]))
+		}
+		for t := 0; t < e.h; t++ {
+			// Issuing at t pins the ladder to exactly t: start >= t and
+			// not start >= t+1. Two x's at different cycles then
+			// contradict through the ladder — at-most-one for free.
+			if t >= 1 {
+				e.s.AddClause(sat.Neg(e.x[i][t]), sat.Pos(e.a[i][t]))
+			}
+			if t+1 < e.h {
+				e.s.AddClause(sat.Neg(e.x[i][t]), sat.Neg(e.a[i][t+1]))
+			}
+			// Residue channel, one direction only: a spuriously-true
+			// residue var can only tighten the resource constraints, so
+			// models stay sound and the solver simply never needs one.
+			e.s.AddClause(sat.Neg(e.x[i][t]), sat.Pos(e.m[i][t%e.ii]))
+		}
+		// Exactly one compatible unit.
+		lits = lits[:0]
+		for k := range ana.compat[i] {
+			lits = append(lits, sat.Pos(e.p[i][k]))
+		}
+		e.s.AddClause(lits...)
+		for k1 := 0; k1 < len(ana.compat[i]); k1++ {
+			for k2 := k1 + 1; k2 < len(ana.compat[i]); k2++ {
+				e.s.AddClause(sat.Neg(e.p[i][k1]), sat.Neg(e.p[i][k2]))
+			}
+		}
+		if ana.nclust > 1 {
+			// Cluster channeling + pairwise AMO makes c exact: the real
+			// cluster is forced true, AMO forces the rest false.
+			for k, u := range ana.compat[i] {
+				e.s.AddClause(sat.Neg(e.p[i][k]), sat.Pos(e.c[i][ana.units[u].cluster]))
+			}
+			for c1 := 0; c1 < ana.nclust; c1++ {
+				for c2 := c1 + 1; c2 < ana.nclust; c2++ {
+					e.s.AddClause(sat.Neg(e.c[i][c1]), sat.Neg(e.c[i][c2]))
+				}
+			}
+		}
+	}
+}
+
+// dependenceClauses emits start(To) >= start(From) + Latency - Distance*II
+// for every edge, ladder-style: issuing From at t forces the To ladder at
+// t + slack. True dependences that may cross clusters get a second,
+// cross-guarded family adding the bus latency — exactly
+// Schedule.EdgeLatency's rule.
+func (e *encoder) dependenceClauses() {
+	ana := e.ana
+	for ei := range ana.g.Edges {
+		ed := &ana.g.Edges[ei]
+		c0 := ed.Latency - ed.Distance*e.ii
+		for t := 0; t < e.h; t++ {
+			lit, konst := e.aGe(ed.To, t+c0)
+			switch konst {
+			case -1:
+				e.s.AddClause(sat.Neg(e.x[ed.From][t]))
+			case 0:
+				e.s.AddClause(sat.Neg(e.x[ed.From][t]), lit)
+			}
+		}
+		if ed.Kind != ir.DepTrue || ed.From == ed.To || ana.nclust <= 1 || ana.busLat == 0 {
+			continue
+		}
+		// cross is forced true when the endpoints' clusters differ; when
+		// true it arms the penalty family below. The reverse channel
+		// (same cluster forces it false) is redundant for correctness but
+		// cheap and helps propagation.
+		cross := e.s.NewVar()
+		for cl := 0; cl < ana.nclust; cl++ {
+			e.s.AddClause(sat.Neg(e.c[ed.From][cl]), sat.Pos(e.c[ed.To][cl]), sat.Pos(cross))
+			e.s.AddClause(sat.Neg(e.c[ed.From][cl]), sat.Neg(e.c[ed.To][cl]), sat.Neg(cross))
+		}
+		c1 := c0 + ana.busLat
+		for t := 0; t < e.h; t++ {
+			lit, konst := e.aGe(ed.To, t+c1)
+			switch konst {
+			case -1:
+				e.s.AddClause(sat.Neg(cross), sat.Neg(e.x[ed.From][t]))
+			case 0:
+				e.s.AddClause(sat.Neg(cross), sat.Neg(e.x[ed.From][t]), lit)
+			}
+		}
+	}
+}
+
+// resourceClauses emits the modulo reservation table: no two
+// instructions on the same functional unit in the same residue class.
+func (e *encoder) resourceClauses() {
+	ana := e.ana
+	for u := range ana.units {
+		var on []int // instructions that can run on u, ascending
+		for i := 0; i < ana.n; i++ {
+			if ana.unitIdx[i][u] >= 0 {
+				on = append(on, i)
+			}
+		}
+		for r := 0; r < e.ii; r++ {
+			for a1 := 0; a1 < len(on); a1++ {
+				for a2 := a1 + 1; a2 < len(on); a2++ {
+					i, j := on[a1], on[a2]
+					e.s.AddClause(
+						sat.Neg(e.p[i][ana.unitIdx[i][u]]), sat.Neg(e.p[j][ana.unitIdx[j][u]]),
+						sat.Neg(e.m[i][r]), sat.Neg(e.m[j][r]))
+				}
+			}
+		}
+	}
+}
+
+// busClauses emits the bus bandwidth cap: a transfer group delivering
+// into a cluster its producer does not occupy claims a bus at the cycle
+// the value leaves the producer (issue + latency, mod II — the
+// TransferCycle rule), and each residue carries at most BusCount
+// transfers, enforced with a sequential-counter cardinality encoding.
+func (e *encoder) busClauses() {
+	ana := e.ana
+	if ana.nclust <= 1 || len(ana.groups) == 0 {
+		return
+	}
+	for gi, grp := range ana.groups {
+		for cl := 0; cl < ana.nclust; cl++ {
+			for _, g := range grp.cons {
+				// Consumer on cl with the producer elsewhere forces the
+				// transfer; same-cluster consumers ride the broadcast of
+				// nothing (the value is local).
+				e.s.AddClause(sat.Neg(e.c[g][cl]), sat.Pos(e.c[grp.from][cl]), sat.Pos(e.tr[gi][cl]))
+			}
+		}
+	}
+	if len(ana.groups)*ana.nclust <= ana.busCap {
+		return // can never exceed the cap
+	}
+	occ := make([]sat.Lit, 0, len(ana.groups)*ana.nclust)
+	for r := 0; r < e.ii; r++ {
+		occ = occ[:0]
+		for gi, grp := range ana.groups {
+			// The group occupies a bus at residue r iff a transfer exists
+			// and the producer's issue residue is r - latency (mod II).
+			rs := ((r-ana.lat[grp.from])%e.ii + e.ii) % e.ii
+			for cl := 0; cl < ana.nclust; cl++ {
+				u := e.s.NewVar()
+				e.s.AddClause(sat.Neg(e.tr[gi][cl]), sat.Neg(e.m[grp.from][rs]), sat.Pos(u))
+				occ = append(occ, sat.Pos(u))
+			}
+		}
+		e.atMostK(occ, ana.busCap)
+	}
+}
+
+// atMostK emits the Sinz sequential-counter encoding of "at most k of
+// lits are true". The counter variables are one-directional — spurious
+// truth only tightens — which keeps the clause count at O(n·k).
+func (e *encoder) atMostK(lits []sat.Lit, k int) {
+	n := len(lits)
+	if n <= k {
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			e.s.AddClause(l.Not())
+		}
+		return
+	}
+	prev := make([]int, k)
+	cur := make([]int, k)
+	for j := range prev {
+		prev[j] = e.s.NewVar()
+	}
+	e.s.AddClause(lits[0].Not(), sat.Pos(prev[0]))
+	for j := 1; j < n; j++ {
+		// Overflow: the j-th literal with k already counted is a conflict.
+		e.s.AddClause(lits[j].Not(), sat.Neg(prev[k-1]))
+		if j == n-1 {
+			break
+		}
+		for kk := range cur {
+			cur[kk] = e.s.NewVar()
+		}
+		e.s.AddClause(lits[j].Not(), sat.Pos(cur[0]))
+		e.s.AddClause(sat.Neg(prev[0]), sat.Pos(cur[0]))
+		for kk := 1; kk < k; kk++ {
+			e.s.AddClause(lits[j].Not(), sat.Neg(prev[kk-1]), sat.Pos(cur[kk]))
+			e.s.AddClause(sat.Neg(prev[kk]), sat.Pos(cur[kk]))
+		}
+		prev, cur = cur, prev
+	}
+}
+
+// decode reads the model into a schedule. The caller validates; a
+// failure there is an encoder bug, never a user error.
+func (e *encoder) decode() (*sched.Schedule, error) {
+	ana := e.ana
+	plc := make([]sched.Placement, ana.n)
+	for i := 0; i < ana.n; i++ {
+		cycle := -1
+		for t := 0; t < e.h; t++ {
+			if e.s.Value(e.x[i][t]) {
+				cycle = t
+				break
+			}
+		}
+		unit := -1
+		for k, u := range ana.compat[i] {
+			if e.s.Value(e.p[i][k]) {
+				unit = u
+				break
+			}
+		}
+		if cycle < 0 || unit < 0 {
+			return nil, fmt.Errorf("opt: internal: model leaves instruction %d unplaced", i)
+		}
+		plc[i] = sched.Placement{Cycle: cycle, Cluster: ana.units[unit].cluster, Slot: ana.units[unit].slot}
+	}
+	return &sched.Schedule{
+		Loop:       ana.req.Loop,
+		Machine:    ana.req.Machine,
+		Graph:      ana.g,
+		II:         e.ii,
+		Placements: plc,
+		By:         Name,
+	}, nil
+}

@@ -1,0 +1,326 @@
+// Package opt is the exact modulo scheduler: the third backend
+// (`backend=opt`) that answers "what is the optimal II?" instead of
+// approximating it. For each candidate II from MII upward it encodes
+// find-schedule-at-this-II as CNF (encode.go), solves it with the
+// in-tree deterministic CDCL solver (pkg/opt/sat), and decodes the first
+// SAT model into a sched.Schedule that must pass Schedule.Validate. An
+// UNSAT answer is a *certificate* that no schedule exists at that II, so
+// when every candidate below the found II came back UNSAT the result is
+// provably optimal — the measured floor the II-gap reporting
+// (internal/report, msched compare -gap) tracks MIRS against.
+//
+// The search is time-boxed per candidate by a conflict budget rather
+// than a wall clock, which keeps the outcome — schedule, stats, proof
+// status — a pure deterministic function of (loop, machine, budget). A
+// budget exhaustion downgrades "optimal" to "feasible" (the schedule is
+// still valid; the floor below it is just unproven), never to a wrong
+// answer.
+//
+// opt knows nothing about register pressure: it ignores capacity and
+// never spills (the deliberate deviation from the paper's MIRS —
+// docs/OPTIMALITY.md §Deviations). MaxLive is measured on its schedules
+// after the fact by pkg/regpress, so the MaxLive-gap column is
+// informational, not an optimum.
+//
+// The backend implements sched.Prober, so `-probes` speculation and the
+// portfolio machinery drive it unchanged.
+package opt
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/opt/sat"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+	"github.com/paper-repo-growth/mirs/pkg/trace"
+)
+
+// Name is the backend name ("opt").
+const Name = "opt"
+
+// DefaultBudget is the per-candidate-II conflict budget: two orders of
+// magnitude above what any loop of the seeded small-loop gap corpus
+// needs (those prove in well under a thousand conflicts), small enough
+// that a pathologically hard packing instance — a large loop one slot
+// short of its resource bound — costs seconds, not minutes, per
+// candidate before the sweep moves on with an "unknown" mark.
+const DefaultBudget = 10_000
+
+// Options configures the scheduler.
+type Options struct {
+	// Budget caps the CDCL conflicts spent per candidate II; <= 0 means
+	// DefaultBudget. The budget is the completeness/time trade: an
+	// exhausted budget turns that candidate's answer into "unknown" and
+	// the final schedule's optimality flag off.
+	Budget int64
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithBudget sets the per-candidate conflict budget.
+func WithBudget(n int64) Option { return func(o *Options) { o.Budget = n } }
+
+// Scheduler is the exact backend. The zero value is not useful; use New.
+type Scheduler struct {
+	opts Options
+}
+
+// New returns an opt scheduler with the given options.
+func New(opts ...Option) *Scheduler {
+	o := Options{Budget: DefaultBudget}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.Budget <= 0 {
+		o.Budget = DefaultBudget
+	}
+	return &Scheduler{opts: o}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return Name }
+
+// Schedule implements sched.Scheduler: the II sweep driven strictly in
+// order — the same sweep/attempter pair Probe exposes, so the parallel
+// path's output equals this one's by construction.
+func (s *Scheduler) Schedule(req *sched.Request) (*sched.Schedule, error) {
+	sw, at, err := s.probe(req)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cand, done := sw.Next()
+		if done {
+			break
+		}
+		if err := req.Cancelled(); err != nil {
+			return nil, err
+		}
+		sw.Consume(cand, at.AttemptII(nil, cand, req.Recorder))
+	}
+	return sw.Result()
+}
+
+// Probe implements sched.Prober. The sweep and every attempter share
+// the analysis (graph, MII, unit tables, transfer groups) read-only;
+// each attempt builds a fresh solver, so attempters carry no mutable
+// state at all and the factory can hand out copies freely.
+func (s *Scheduler) Probe(req *sched.Request) (sched.Sweep, func() sched.Attempter, error) {
+	sw, at, err := s.probe(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sw, func() sched.Attempter {
+		cp := *at
+		return &cp
+	}, nil
+}
+
+// probe performs the per-request analyses once and returns the concrete
+// sweep/attempter pair both Schedule and Probe drive.
+func (s *Scheduler) probe(req *sched.Request) (*optSweep, *optAttempter, error) {
+	if req.Loop == nil || req.Machine == nil {
+		return nil, nil, fmt.Errorf("opt: request missing loop or machine")
+	}
+	g := req.Graph
+	if g == nil {
+		var err error
+		if g, err = ir.Build(req.Loop, req.Machine, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	mii := sched.MII{}
+	if req.MII != nil {
+		mii = *req.MII
+	} else {
+		var err error
+		if mii, err = sched.ComputeMII(g, req.Machine); err != nil {
+			return nil, nil, err
+		}
+	}
+	maxII := req.MaxII
+	if maxII <= 0 {
+		// The same safe horizon the list baseline uses: past it a serial
+		// schedule always exists, so the sweep terminates.
+		maxII = 1
+		bus := req.Machine.BusLatency()
+		for _, in := range req.Loop.Instrs {
+			maxII += req.Machine.Latency(in.Class) + bus + 1
+		}
+		if maxII < mii.MII {
+			maxII = mii.MII
+		}
+	}
+	ana := newAnalysis(req, g, mii, maxII)
+	sw := &optSweep{req: req, mii: mii.MII, maxII: maxII}
+	at := &optAttempter{ana: ana, budget: s.opts.Budget}
+	return sw, at, nil
+}
+
+// optSweep is the exact backend's II search state: candidate key k is
+// II = MII + k, ascending until the first SAT. Along the way it counts
+// the certificates: UNSAT answers below the final II (the optimality
+// proof) and budget-exhausted unknowns (the holes in it).
+type optSweep struct {
+	req   *sched.Request
+	mii   int
+	maxII int
+
+	next int
+	done bool
+	out  *sched.Schedule
+	err  error
+
+	unsatBelow     int
+	unknownBelow   int
+	conflictsBelow int
+}
+
+func (w *optSweep) span() int { return w.maxII - w.mii }
+
+// Next implements sched.Sweep.
+func (w *optSweep) Next() (int, bool) {
+	if w.done || w.next > w.span() {
+		return 0, true
+	}
+	return w.next, false
+}
+
+// Speculate implements sched.Sweep: the sweep always advances by one,
+// so prediction is exact up to the horizon.
+func (w *optSweep) Speculate(dst []int, after, max int) []int {
+	if w.done {
+		return dst
+	}
+	for c := after + 1; c <= w.span() && len(dst) < max; c++ {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// Consume implements sched.Sweep. The attempt vocabulary (see
+// optAttempter.AttemptII): a schedule means SAT; no schedule with
+// Completed=true means a finished UNSAT proof; Completed=false means the
+// conflict budget ran out first. Schedule-less attempts carry the
+// conflicts spent in Excess (safe: Attempt.Success needs a schedule, so
+// the search engine can never mistake them for a win).
+func (w *optSweep) Consume(cand int, a sched.Attempt) {
+	if w.done || cand != w.next {
+		return
+	}
+	if a.Err != nil {
+		w.err, w.done = a.Err, true
+		return
+	}
+	if a.Schedule != nil {
+		a.Schedule.AddStat("ii_over_mii", cand)
+		a.Schedule.AddStat("opt_unsat_below", w.unsatBelow)
+		a.Schedule.AddStat("opt_unknown_below", w.unknownBelow)
+		proved := 0
+		if w.unknownBelow == 0 {
+			proved = 1
+		}
+		a.Schedule.AddStat("opt_proved", proved)
+		a.Schedule.AddStat("opt_conflicts", w.conflictsBelow)
+		w.out, w.done = a.Schedule, true
+		return
+	}
+	if a.Completed {
+		w.unsatBelow++
+	} else {
+		w.unknownBelow++
+	}
+	w.conflictsBelow += a.Excess
+	w.next++
+}
+
+// Result implements sched.Sweep.
+func (w *optSweep) Result() (*sched.Schedule, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.out != nil {
+		return w.out, nil
+	}
+	return nil, fmt.Errorf("opt: no schedule found for loop %q on %q within II <= %d (budget may be too small)",
+		w.req.Loop.Name, w.req.Machine.Name, w.maxII)
+}
+
+// optAttempter runs one candidate II per call. It holds only the shared
+// read-only analysis plus the budget; every attempt builds a fresh
+// encoder and solver, so attempts are pure and trivially parallel.
+type optAttempter struct {
+	ana    *analysis
+	budget int64
+}
+
+// AttemptII implements sched.Attempter. Outcome vocabulary:
+//
+//   - SAT: Attempt{Schedule, Completed: true} — the decoded, validated
+//     schedule, its own conflicts in Stats["opt_conflicts"].
+//   - UNSAT: Attempt{Completed: true, Excess: conflicts} — a proof that
+//     no schedule exists at this II.
+//   - budget exhausted: Attempt{Completed: false, Excess: conflicts}.
+//   - cancelled (engine ctx or request ctx): Attempt{Err}.
+//
+// The first three are pure functions of (request, candidate, budget);
+// only cancellation is timing-dependent, and the engine discards
+// cancelled attempts.
+func (at *optAttempter) AttemptII(ctx context.Context, cand int, rec trace.Recorder) sched.Attempt {
+	if ctx != nil && ctx.Err() != nil {
+		return sched.Attempt{Err: fmt.Errorf("opt: probe cancelled: %w", ctx.Err())}
+	}
+	ii := at.ana.mii.MII + cand
+	if rec != nil {
+		mark := int64(0)
+		if cand == 0 {
+			mark = int64(at.ana.mii.MII)
+		}
+		rec.Emit(trace.Event{Kind: trace.KindIIStart, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: mark})
+	}
+	enc := newEncoder(at.ana, ii)
+	reqCtx := at.ana.req.Ctx
+	var stop func() bool
+	if ctx != nil || reqCtx != nil {
+		stop = func() bool {
+			return (ctx != nil && ctx.Err() != nil) || (reqCtx != nil && reqCtx.Err() != nil)
+		}
+	}
+	st := enc.s.Solve(at.budget, stop)
+	conflicts := int(enc.s.Conflicts())
+	emitEnd := func(sat int64) {
+		if rec != nil {
+			rec.Emit(trace.Event{Kind: trace.KindIIEnd, II: int32(ii), Op: -1, Cluster: -1, Cycle: -1, Reg: -1, Arg: sat})
+		}
+	}
+	switch st {
+	case sat.Sat:
+		s, err := enc.decode()
+		if err == nil {
+			err = s.Validate()
+		}
+		if err != nil {
+			// An invalid decode is an encoder bug: surface it loudly
+			// instead of quietly escalating II past the truth.
+			emitEnd(0)
+			return sched.Attempt{Err: fmt.Errorf("opt: II=%d model failed validation: %w", ii, err)}
+		}
+		s.AddStat("opt_conflicts", conflicts)
+		emitEnd(1)
+		return sched.Attempt{Schedule: s, Completed: true}
+	case sat.Unsat:
+		emitEnd(0)
+		return sched.Attempt{Completed: true, Excess: conflicts}
+	default:
+		if ctx != nil && ctx.Err() != nil {
+			return sched.Attempt{Err: fmt.Errorf("opt: probe cancelled: %w", ctx.Err())}
+		}
+		if reqCtx != nil && reqCtx.Err() != nil {
+			return sched.Attempt{Err: fmt.Errorf("opt: request cancelled: %w", reqCtx.Err())}
+		}
+		emitEnd(0)
+		return sched.Attempt{Completed: false, Excess: conflicts}
+	}
+}
