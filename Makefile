@@ -2,7 +2,7 @@
 # here is a thin wrapper over go / msched invocations, so CI and humans
 # run the identical commands.
 
-.PHONY: all build test race bench bench-placement bench-parallel profile compare baseline serve loadtest trace lint fmt
+.PHONY: all build test race bench bench-placement bench-parallel profile compare baseline serve loadtest trace exec lint fmt
 
 all: build test
 
@@ -66,6 +66,13 @@ loadtest:
 # README "Observability"; -chrome/-profile export the raw artifacts).
 trace:
 	go run ./cmd/msched trace -seed 1 -i 7 -machine tight
+
+# Differentially execute the whole generated sweep — emitted VLIW
+# bundles vs the sequential reference semantics — with the same grid
+# and seed the CI exec-verify gate uses; exits non-zero on any
+# mismatch (see README "Execution & verification").
+exec:
+	go run ./cmd/msched run -exec -seed 1 -n 120 -backends all -machines all -strict
 
 lint:
 	golangci-lint run

@@ -70,6 +70,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return cmdLoadtest(args[1:], stdout, stderr)
 	case "trace":
 		return cmdTrace(args[1:], stdout, stderr)
+	case "exec":
+		return cmdExec(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -81,7 +83,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprint(w, `usage: msched <run|gen|compare|serve|loadtest|trace> [flags]
+	fmt.Fprint(w, `usage: msched <run|gen|compare|serve|loadtest|trace|exec> [flags]
 
   run       generate a loop population and batch-compile it across
             backends x machines; emit aggregate quality tables
@@ -94,6 +96,8 @@ func usage(w io.Writer) {
             loop and emit/gate the load report
   trace     compile one loop with the flight recorder attached and
             explain the II search (optional Chrome trace export)
+  exec      compile one loop, emit VLIW bundles, and differentially
+            execute them against the sequential reference
 
 run 'msched <cmd> -h' for per-command flags
 `)
@@ -186,6 +190,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	machines := fs.String("machines", "unified,paper-4cluster", "comma-separated machines, or all")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	probes := fs.Int("probes", 1, "parallel candidate-II probes per compilation (outputs stay byte-identical)")
+	exec := fs.Bool("exec", false, "differentially execute every successful compilation (emitted bundles vs the sequential reference); any mismatch fails the run")
 	portfolio := fs.Bool("portfolio", false, "also sweep the strategy-racing portfolio backend")
 	timeout := fs.Duration("timeout", driver.DefaultTimeout, "per-compilation budget")
 	budget := fs.Int64("budget", 0, "opt backend: conflict budget per candidate II (0 = default)")
@@ -224,7 +229,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	}
 	rep := driver.Run(spec, driver.Options{
 		Workers: *workers, Timeout: *timeout, Timing: *timing, KeepOutcomes: *keep,
-		TraceSlowest: *traceSlowest, TraceDir: *traceDir, Probes: *probes,
+		TraceSlowest: *traceSlowest, TraceDir: *traceDir, Probes: *probes, Exec: *exec,
 	})
 	printSummary(stdout, rep)
 	if rep.TraceErr != "" {
@@ -249,6 +254,18 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		f := &report.File{Rows: rep.Rows()}
 		if err := os.WriteFile(*csvOut, []byte(f.CSV()), 0o644); err != nil {
 			fmt.Fprintln(stderr, "msched run:", err)
+			return 1
+		}
+	}
+	if *exec {
+		executed, execFailed := 0, 0
+		for i := range rep.Combos {
+			executed += rep.Combos[i].Executed
+			execFailed += rep.Combos[i].ExecFailed
+		}
+		fmt.Fprintf(stdout, "exec-verify: %d compilations executed differentially, %d mismatches\n", executed, execFailed)
+		if len(rep.ExecFailures) > 0 {
+			fmt.Fprintf(stderr, "msched run: %d compilation(s) executed to a state that differs from the sequential reference\n", len(rep.ExecFailures))
 			return 1
 		}
 	}
@@ -289,6 +306,9 @@ func printSummary(w io.Writer, rep *driver.Report) {
 				msg = msg[:i] + " ..."
 			}
 			fmt.Fprintf(w, "FAIL %s [%s x %s]: %s\n", o.Loop, o.Backend, o.Machine, msg)
+		}
+		if o.ExecErr != "" {
+			fmt.Fprintf(w, "EXEC MISMATCH %s [%s x %s]: %s\n", o.Loop, o.Backend, o.Machine, o.ExecErr)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/paper-repo-growth/mirs/pkg/sched"
 	"github.com/paper-repo-growth/mirs/pkg/sched/search"
 	"github.com/paper-repo-growth/mirs/pkg/trace"
+	"github.com/paper-repo-growth/mirs/pkg/vm"
 )
 
 // Re-exported aliases so entry-point users can name the pipeline's main
@@ -57,6 +58,14 @@ type Result struct {
 	// folded into deterministic artifacts; everything else in Result is
 	// a pure function of (loop, machine, options).
 	ProbeStats search.Stats
+	// Verified is the differential-execution report (pkg/vm): the
+	// expanded kernel emitted to architectural bundles and executed
+	// against the sequential reference on identical machine images. Nil
+	// unless Opts.Exec asked for it. A semantic mismatch does NOT error
+	// the compilation — it lands in Verified.Mismatches so batch drivers
+	// and CLIs can report exactly which words diverged; only structural
+	// failures (emission or interpretation impossible) are errors.
+	Verified *vm.Report
 }
 
 // Summary renders a one-line result digest for logs and CLIs: the II
@@ -107,6 +116,13 @@ type Opts struct {
 	// The compilation result is byte-identical at any setting; only
 	// wall clock and Result.ProbeStats change.
 	ParallelProbes int
+	// Exec differentially executes every successful compilation: the
+	// expanded kernel is emitted to bundles (pkg/emit) and interpreted
+	// (pkg/vm) against the sequential reference, with the outcome on
+	// Result.Verified. The oracle seed is derived from the loop name, so
+	// every loop of a corpus exercises different addresses and operand
+	// values while the whole sweep stays byte-deterministic.
+	Exec bool
 	// Portfolio races the stock heterogeneous strategy mix
 	// (search.DefaultPortfolio) instead of the single backend s and
 	// keeps the deterministic best by (fits, II, MaxLive, spill
@@ -223,7 +239,26 @@ func CompileWithOpts(ctx context.Context, s sched.Scheduler, l *ir.Loop, m *mach
 	if err != nil {
 		return nil, fmt.Errorf("core: backend %q: %w", s.Name(), err)
 	}
-	return &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek, ProbeStats: pstats}, nil
+	res := &Result{Graph: g, MII: mii, Schedule: out, Pressure: press, Expanded: ek, ProbeStats: pstats}
+	if opts.Exec {
+		res.Verified, err = vm.Verify(ek, vm.Options{Seed: ExecSeed(l.Name)})
+		if err != nil {
+			return nil, fmt.Errorf("core: backend %q: exec: %w", s.Name(), err)
+		}
+	}
+	return res, nil
+}
+
+// ExecSeed derives the differential-execution oracle seed for a loop: an
+// FNV-1a fold of the name mixed into the oracle's default seed. Keyed on
+// the name so a corpus sweep exercises a different address/operand
+// pattern per loop, a pure function so artifacts stay byte-identical.
+func ExecSeed(loopName string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(loopName); i++ {
+		h = (h ^ uint64(loopName[i])) * 0x100000001b3
+	}
+	return h ^ vm.DefaultSeed
 }
 
 // Opt returns the exact SAT-based backend (pkg/opt) with the given

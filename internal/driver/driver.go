@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/paper-repo-growth/mirs/internal/core"
@@ -66,6 +67,14 @@ type Options struct {
 	// byte-identical across runs.
 	TraceSlowest int
 	TraceDir     string
+	// Exec differentially executes every successful compilation through
+	// the pkg/emit → pkg/vm pipeline (core.Opts.Exec): emitted bundles
+	// are interpreted against the sequential reference and any word-level
+	// divergence becomes an exec-failure outcome. The verdicts are a pure
+	// function of (loop, machine, backend), so reports stay
+	// byte-identical across runs; the CI exec-verify gate double-runs and
+	// diffs them.
+	Exec bool
 	// Probes > 1 turns on intra-compilation parallelism: each
 	// compilation speculatively attempts that many candidate IIs at
 	// once (core.Opts.ParallelProbes). The worker budget is split
@@ -103,6 +112,12 @@ type Outcome struct {
 	// Stats carries the backend's Schedule.Stats counters verbatim
 	// (ejections, spill_ii_increase, single_cluster_fallback, ...).
 	Stats map[string]int `json:"stats,omitempty"`
+	// Executed marks an outcome whose compilation was differentially
+	// executed (Options.Exec and the compile succeeded); ExecErr carries
+	// the first mismatch lines when the emitted code diverged from the
+	// sequential reference, and is empty when execution verified clean.
+	Executed bool   `json:"executed,omitempty"`
+	ExecErr  string `json:"exec_err,omitempty"`
 	// Micros is the compilation wall-clock in microseconds; zero unless
 	// Options.Timing is set.
 	Micros int64 `json:"micros,omitempty"`
@@ -141,6 +156,11 @@ type Combo struct {
 	SpillStores int `json:"spill_stores"`
 	// Stats folds every backend-reported Schedule.Stats counter.
 	Stats map[string]int `json:"stats,omitempty"`
+	// Executed counts differentially executed compilations in this cell
+	// and ExecFailed the ones whose emitted code diverged from the
+	// sequential reference. Both stay zero unless Options.Exec.
+	Executed   int `json:"executed,omitempty"`
+	ExecFailed int `json:"exec_failed,omitempty"`
 }
 
 // HistBin is one bucket of the II-over-MII histogram.
@@ -170,8 +190,12 @@ type Report struct {
 	Workers int `json:"workers,omitempty"`
 	// Failures is the count of non-successful compilations across the
 	// whole grid; the offending outcomes are always retained below.
-	Failures int     `json:"failures"`
-	Combos   []Combo `json:"combos"`
+	Failures int `json:"failures"`
+	// ExecFailures lists the outcome keys whose differential execution
+	// found a mismatch, sorted; always empty unless Options.Exec. The CI
+	// exec-verify gate requires it empty.
+	ExecFailures []string `json:"exec_failures,omitempty"`
+	Combos       []Combo  `json:"combos"`
 	// Outcomes holds per-compilation rows: failures always, everything
 	// when Options.KeepOutcomes is set. Sorted by (loop, backend,
 	// machine).
@@ -267,7 +291,7 @@ func Run(spec Spec, opts Options) *Report {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobCh {
-				outcomes[i], durs[i], pstats[i] = runOne(jobs[i], timeout, opts.Timing, opts.Probes)
+				outcomes[i], durs[i], pstats[i] = runOne(jobs[i], timeout, opts.Timing, opts.Probes, opts.Exec)
 			}
 			done <- struct{}{}
 		}()
@@ -311,7 +335,7 @@ func Run(spec Spec, opts Options) *Report {
 // The returned duration is always measured (trace sampling ranks by it)
 // but only surfaces on the Outcome as Micros when timing is set, keeping
 // untimed reports byte-identical.
-func runOne(j job, timeout time.Duration, timing bool, probes int) (Outcome, time.Duration, search.Stats) {
+func runOne(j job, timeout time.Duration, timing bool, probes int, exec bool) (Outcome, time.Duration, search.Stats) {
 	o := Outcome{Loop: j.loop.Name, Backend: j.backend.Name(), Machine: j.mach.Name}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -322,7 +346,7 @@ func runOne(j job, timeout time.Duration, timing bool, probes int) (Outcome, tim
 	ch := make(chan res, 1)
 	begin := time.Now()
 	go func() {
-		r, err := core.CompileSafeWith(ctx, j.backend, j.loop, j.mach, core.Opts{ParallelProbes: probes})
+		r, err := core.CompileSafeWith(ctx, j.backend, j.loop, j.mach, core.Opts{ParallelProbes: probes, Exec: exec})
 		ch <- res{r, err}
 	}()
 	var r res
@@ -355,6 +379,19 @@ func runOne(j job, timeout time.Duration, timing bool, probes int) (Outcome, tim
 		o.SpillStores = st["spill_stores"]
 		o.SpillLoads = st["spill_loads"]
 		o.Stats = st
+	}
+	if v := r.r.Verified; v != nil {
+		o.Executed = true
+		if !v.OK() {
+			// The mismatch lines are already deterministic and bounded;
+			// keep the first few so the report stays readable when a bug
+			// breaks many loops at once.
+			ms := v.Mismatches
+			if len(ms) > 4 {
+				ms = append(append([]string(nil), ms[:4]...), fmt.Sprintf("... %d more", len(v.Mismatches)-4))
+			}
+			o.ExecErr = strings.Join(ms, "; ")
+		}
 	}
 	return o, dur, r.r.ProbeStats
 }
@@ -424,6 +461,13 @@ func aggregate(spec Spec, opts Options, workers int, outcomes []Outcome, elapsed
 			}
 			c.SpillLoads += o.SpillLoads
 			c.SpillStores += o.SpillStores
+			if o.Executed {
+				c.Executed++
+				if o.ExecErr != "" {
+					c.ExecFailed++
+					rep.ExecFailures = append(rep.ExecFailures, o.Key())
+				}
+			}
 			for key, n := range o.Stats {
 				if c.Stats == nil {
 					c.Stats = map[string]int{}
@@ -446,11 +490,15 @@ func aggregate(spec Spec, opts Options, workers int, outcomes []Outcome, elapsed
 		}
 		return a.Machine < b.Machine
 	})
+	sort.Strings(rep.ExecFailures)
 	kept := outcomes
 	if !opts.KeepOutcomes {
 		kept = nil
 		for _, o := range outcomes {
-			if o.Err != "" {
+			// Retain every failure row: compile errors, timeouts, and
+			// execution mismatches — the exec gate needs the word-level
+			// diff in the artifact, not just the count.
+			if o.Err != "" || o.ExecErr != "" {
 				kept = append(kept, o)
 			}
 		}

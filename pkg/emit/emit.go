@@ -1,0 +1,488 @@
+// Package emit lowers a modulo-variable-expanded kernel
+// (sched.ExpandedKernel) to architectural code: it maps every renamed
+// rotating copy and live-in onto the per-cluster register files of the
+// machine (names beyond machine.RegsPerCluster overflow onto stack-frame
+// slots), and emits the schedule bundle by bundle — one VLIW bundle per
+// cycle with explicit unit/cluster slots and per-producer bus-transfer
+// slots — as three segments: prologue bundles that fill the pipeline
+// stage by stage, the steady-state kernel of Unroll×II bundles, and
+// epilogue bundles that drain it. Alongside the MVE form the program
+// carries a predicated execution plan: the kernel bundles alone, run for
+// extra leading/trailing passes with a per-stage-instance predicate
+// index on every operation, which collapses prologue and epilogue at the
+// cost of predicate registers (our addition over the paper; the paper
+// generates MVE code). The deterministic interpreter in pkg/vm executes
+// both plans and checks them against the sequential loop.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/machine"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// Loc is an architectural storage location: a register of one cluster's
+// file, or — when the file overflowed — a stack-frame slot.
+type Loc struct {
+	// Cluster indexes Machine.Clusters; for a frame slot it records which
+	// cluster's overflow produced the slot (diagnostics only).
+	Cluster int
+	// Index is the architectural register number within the cluster's
+	// file, or the frame slot number when Frame is set.
+	Index int
+	// Frame marks a stack-frame slot: the name did not fit in the
+	// cluster's register file.
+	Frame bool
+}
+
+// String renders "c0:r3" or "fp[2]".
+func (l Loc) String() string {
+	if l.Frame {
+		return fmt.Sprintf("fp[%d]", l.Index)
+	}
+	return fmt.Sprintf("c%d:r%d", l.Cluster, l.Index)
+}
+
+// Xfer is one bus-transfer slot attached to its producing operation: the
+// value of def DefIdx departs on a bus when the result is ready and lands
+// in Dst — the consumer cluster's copy of the same renamed register —
+// Delay cycles after the producer issued (result latency + bus latency).
+type Xfer struct {
+	DefIdx int
+	Dst    Loc
+	Delay  int
+}
+
+// Op is one operation slot of a bundle.
+type Op struct {
+	// ID is the source instruction in Program.Loop — the key the
+	// interpreter binds semantics by.
+	ID int
+	// Cluster and Slot are the issue coordinates (the functional unit).
+	Cluster, Slot int
+	// Latency is the result latency: defs commit that many cycles after
+	// issue.
+	Latency int
+	// Iter identifies which loop iteration the operation instance
+	// executes. In prologue and epilogue bundles it is the absolute
+	// iteration. In kernel bundles it is the iteration at kernel pass 0;
+	// pass k executes iteration Iter + k*Unroll. Under the predicated
+	// plan Iter doubles as the predicate-register index: the op's
+	// predicate is true iff 0 <= Iter + k*Unroll < trip.
+	Iter int
+	// Defs and Srcs are the architectural locations of the renamed
+	// operands, parallel to the source instruction's Defs and Uses.
+	Defs, Srcs []Loc
+	// Xfers are the bus transfers this instance's results make to
+	// consumer clusters.
+	Xfers []Xfer
+}
+
+// Bundle is one VLIW issue cycle: the operations leaving in that cycle.
+type Bundle struct {
+	Ops []Op
+}
+
+// FrameSlot records which renamed register a stack-frame slot backs.
+type FrameSlot struct {
+	Cluster int
+	Name    sched.RegCopy
+}
+
+// Program is the emitted architectural form of one expanded kernel.
+type Program struct {
+	// Machine and Loop are the target and the (possibly spill-augmented)
+	// scheduled loop the bundles execute.
+	Machine *machine.Machine
+	Loop    *ir.Loop
+	// II, Unroll and Stages mirror the schedule; Period = Unroll*II is
+	// the kernel length in bundles.
+	II, Unroll, Stages, Period int
+	// Trip is the MVE plan's iteration count: Stages-1 + Passes*Unroll,
+	// chosen so the kernel's last pass ends exactly where the epilogue
+	// begins. The predicated plan accepts any trip count.
+	Trip int
+	// Passes is how many times the MVE plan runs the kernel.
+	Passes int
+	// Prologue, Kernel and Epilogue are the bundle segments:
+	// (Stages-1)*II fill bundles, Period steady-state bundles and
+	// (Stages-1)*II drain bundles.
+	Prologue, Kernel, Epilogue []Bundle
+	// KStart is the first (possibly negative) kernel pass of the
+	// predicated plan at trip Trip; PredPasses the number of passes. A
+	// different trip recomputes both (see PredWindow).
+	KStart, PredPasses int
+	// Names is the register allocation: Names[cluster][i] is the renamed
+	// register architectural register i of that cluster holds. Frame
+	// lists the overflow slots in allocation order.
+	Names [][]sched.RegCopy
+	Frame []FrameSlot
+
+	alloc map[clusterName]Loc
+}
+
+type clusterName struct {
+	cluster int
+	name    sched.RegCopy
+}
+
+// LocOf returns the location allocated to renamed register name on
+// cluster — where consumers on that cluster read it.
+func (p *Program) LocOf(cluster int, name sched.RegCopy) (Loc, bool) {
+	l, ok := p.alloc[clusterName{cluster, name}]
+	return l, ok
+}
+
+// PredWindow returns the kernel-pass window [kstart, kstart+passes) the
+// predicated plan needs to cover every iteration in [0, trip): enough
+// leading passes that every op slot reaches iteration >= 0 and enough
+// trailing ones that it reaches trip-1.
+func (p *Program) PredWindow(trip int) (kstart, passes int) {
+	kend := 0
+	first := true
+	for _, b := range p.Kernel {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			ks := -(op.Iter / p.Unroll)
+			ke := floorDiv(trip-1-op.Iter, p.Unroll)
+			if first {
+				kstart, kend, first = ks, ke, false
+				continue
+			}
+			if ks < kstart {
+				kstart = ks
+			}
+			if ke > kend {
+				kend = ke
+			}
+		}
+	}
+	if first || kend < kstart {
+		return 0, 0
+	}
+	return kstart, kend - kstart + 1
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Emit lowers ek to an architectural program. The expanded kernel must
+// come from the normal pipeline (Expand/ExpandWith), i.e. be
+// Validate-clean; Emit checks only what lowering itself can get wrong.
+func Emit(ek *sched.ExpandedKernel) (*Program, error) {
+	if ek == nil || ek.Schedule == nil {
+		return nil, fmt.Errorf("emit: nil expanded kernel")
+	}
+	s := ek.Schedule
+	m := s.Machine
+	n := s.Loop.NumInstrs()
+	sc := s.StageCount()
+	ii := s.II
+	u := ek.Unroll
+	period := u * ii
+	t0 := (sc - 1) * ii
+
+	p := &Program{
+		Machine: m, Loop: s.Loop,
+		II: ii, Unroll: u, Stages: sc, Period: period,
+		alloc: map[clusterName]Loc{},
+	}
+
+	// Iteration count of the MVE plan: enough kernel passes that the
+	// pipeline reaches a steady state (~24 iterations), rounded so the
+	// kernel's pass boundary lands exactly on the epilogue: trip =
+	// (sc-1) + passes*u makes the last kernel bundle issue at cycle
+	// trip*II - 1.
+	passes := (24 + u - 1) / u
+	if passes < 1 {
+		passes = 1
+	}
+	p.Passes = passes
+	p.Trip = sc - 1 + passes*u
+
+	// Register allocation. Collect, per cluster, every renamed name read
+	// or written there — an operand read on a cluster remote from its
+	// producer names that cluster's bus-delivered copy, so collecting
+	// both defs and uses per issuing cluster covers transfer
+	// destinations too. One expanded period spans all unroll slots, and
+	// every copy count divides Unroll, so the kernel instances name every
+	// copy the prologue and epilogue will ever touch.
+	names := make([]map[sched.RegCopy]bool, m.NumClusters())
+	for ci := range names {
+		names[ci] = map[sched.RegCopy]bool{}
+	}
+	for i := range ek.Instrs {
+		xi := &ek.Instrs[i]
+		ci := s.Placements[xi.ID].Cluster
+		for _, d := range xi.Defs {
+			names[ci][d] = true
+		}
+		for _, uv := range xi.Uses {
+			names[ci][uv] = true
+		}
+	}
+	p.Names = make([][]sched.RegCopy, m.NumClusters())
+	for ci := range names {
+		sorted := make([]sched.RegCopy, 0, len(names[ci]))
+		for name := range names[ci] {
+			sorted = append(sorted, name)
+		}
+		sort.Slice(sorted, func(a, b int) bool {
+			if sorted[a].Reg != sorted[b].Reg {
+				return sorted[a].Reg < sorted[b].Reg
+			}
+			return sorted[a].Copy < sorted[b].Copy
+		})
+		capRegs := m.RegsPerCluster(ci)
+		for i, name := range sorted {
+			if i < capRegs {
+				p.alloc[clusterName{ci, name}] = Loc{Cluster: ci, Index: i}
+				p.Names[ci] = append(p.Names[ci], name)
+				continue
+			}
+			p.alloc[clusterName{ci, name}] = Loc{Cluster: ci, Index: len(p.Frame), Frame: true}
+			p.Frame = append(p.Frame, FrameSlot{Cluster: ci, Name: name})
+		}
+	}
+
+	// Distinct bus transfers per producer: (register, destination
+	// cluster) pairs, destinations sorted for determinism. Consumers on
+	// one remote cluster share a broadcast, exactly as Schedule.Validate
+	// accounts buses.
+	type route struct {
+		defIdx int
+		dest   int
+	}
+	routes := make([][]route, n)
+	busLat := m.BusLatency()
+	for i := range s.Graph.Edges {
+		e := &s.Graph.Edges[i]
+		if e.Kind != ir.DepTrue || s.Placements[e.From].Cluster == s.Placements[e.To].Cluster {
+			continue
+		}
+		defIdx := -1
+		for j, d := range s.Loop.Instrs[e.From].Defs {
+			if d == e.Reg {
+				defIdx = j
+				break
+			}
+		}
+		if defIdx < 0 {
+			return nil, fmt.Errorf("emit: true edge %d->%d for %s, but instruction %d does not define it", e.From, e.To, e.Reg, e.From)
+		}
+		r := route{defIdx: defIdx, dest: s.Placements[e.To].Cluster}
+		dup := false
+		for _, have := range routes[e.From] {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			routes[e.From] = append(routes[e.From], r)
+		}
+	}
+	for id := range routes {
+		sort.Slice(routes[id], func(a, b int) bool {
+			if routes[id][a].defIdx != routes[id][b].defIdx {
+				return routes[id][a].defIdx < routes[id][b].defIdx
+			}
+			return routes[id][a].dest < routes[id][b].dest
+		})
+	}
+
+	// makeOp lowers instance (id, iteration iter) using the renaming of
+	// the matching unroll slot — valid for any absolute iteration because
+	// copy counts divide Unroll, so iter and iter mod Unroll name the
+	// same copies.
+	xiAt := func(uidx, id int) *sched.ExpandedInstr { return &ek.Instrs[uidx*n+id] }
+	locsOf := func(ci int, rcs []sched.RegCopy) ([]Loc, error) {
+		if len(rcs) == 0 {
+			return nil, nil
+		}
+		out := make([]Loc, len(rcs))
+		for i, rc := range rcs {
+			l, ok := p.LocOf(ci, rc)
+			if !ok {
+				return nil, fmt.Errorf("emit: no location for %s on cluster %d", rc, ci)
+			}
+			out[i] = l
+		}
+		return out, nil
+	}
+	makeOp := func(id, iter int) (Op, error) {
+		pl := s.Placements[id]
+		in := s.Loop.Instrs[id]
+		xi := xiAt(((iter%u)+u)%u, id)
+		op := Op{
+			ID: id, Cluster: pl.Cluster, Slot: pl.Slot,
+			Latency: m.Latency(in.Class), Iter: iter,
+		}
+		var err error
+		if op.Defs, err = locsOf(pl.Cluster, xi.Defs); err != nil {
+			return op, err
+		}
+		if op.Srcs, err = locsOf(pl.Cluster, xi.Uses); err != nil {
+			return op, err
+		}
+		for _, r := range routes[id] {
+			dst, ok := p.LocOf(r.dest, xi.Defs[r.defIdx])
+			if !ok {
+				return op, fmt.Errorf("emit: no location for %s on destination cluster %d", xi.Defs[r.defIdx], r.dest)
+			}
+			op.Xfers = append(op.Xfers, Xfer{DefIdx: r.defIdx, Dst: dst, Delay: op.Latency + busLat})
+		}
+		return op, nil
+	}
+
+	// Prologue: stage p spans bundles [p*II, (p+1)*II); the instance
+	// (id, i = p - stage) issues at cycle i*II + start(id) = p*II +
+	// start(id) mod II.
+	p.Prologue = make([]Bundle, t0)
+	for stage, ops := range ek.Prologue {
+		for _, so := range ops {
+			op, err := makeOp(so.ID, so.Iteration)
+			if err != nil {
+				return nil, err
+			}
+			b := stage*ii + s.Start(so.ID)%ii
+			p.Prologue[b].Ops = append(p.Prologue[b].Ops, op)
+		}
+	}
+
+	// Kernel: bundle j of pass k issues at absolute cycle (sc-1)*II +
+	// k*Period + j, so the expanded instance at expanded-kernel cycle c
+	// lands in bundle (c - (sc-1)*II) mod Period, executing iteration
+	// Iter + k*Unroll with Iter = ((sc-1)*II + j - start)/II — the
+	// smallest iteration of its unroll slot issuing at or after the
+	// prologue/kernel boundary.
+	p.Kernel = make([]Bundle, period)
+	for i := range ek.Instrs {
+		xi := &ek.Instrs[i]
+		j := ((xi.Cycle-t0)%period + period) % period
+		iter := (t0 + j - s.Start(xi.ID)) / ii
+		op, err := makeOp(xi.ID, iter)
+		if err != nil {
+			return nil, err
+		}
+		p.Kernel[j].Ops = append(p.Kernel[j].Ops, op)
+	}
+
+	// Epilogue: stage e spans bundles [e*II, (e+1)*II) after the kernel;
+	// StageOp.Iteration counts back from the final iteration.
+	p.Epilogue = make([]Bundle, t0)
+	for stage, ops := range ek.Epilogue {
+		for _, so := range ops {
+			op, err := makeOp(so.ID, p.Trip-1-so.Iteration)
+			if err != nil {
+				return nil, err
+			}
+			b := stage*ii + s.Start(so.ID)%ii
+			p.Epilogue[b].Ops = append(p.Epilogue[b].Ops, op)
+		}
+	}
+
+	// Deterministic slot order within each bundle.
+	for _, seg := range [][]Bundle{p.Prologue, p.Kernel, p.Epilogue} {
+		for bi := range seg {
+			ops := seg[bi].Ops
+			sort.Slice(ops, func(a, b int) bool {
+				if ops[a].Cluster != ops[b].Cluster {
+					return ops[a].Cluster < ops[b].Cluster
+				}
+				if ops[a].Slot != ops[b].Slot {
+					return ops[a].Slot < ops[b].Slot
+				}
+				return ops[a].ID < ops[b].ID
+			})
+		}
+	}
+
+	p.KStart, p.PredPasses = p.PredWindow(p.Trip)
+	return p, nil
+}
+
+// MVEBundles returns the total bundle count of the MVE plan — its code
+// size: prologue + kernel + epilogue.
+func (p *Program) MVEBundles() int {
+	return len(p.Prologue) + len(p.Kernel) + len(p.Epilogue)
+}
+
+// PredBundles returns the bundle count of the predicated plan: the
+// kernel alone.
+func (p *Program) PredBundles() int { return len(p.Kernel) }
+
+// Listing renders the program for humans: the allocation summary and the
+// bundles of every segment (prologue / kernel / epilogue), one line per
+// bundle with unit and transfer slots. maxBundles bounds the listing per
+// segment (<= 0 lists everything); elided bundles are summarised.
+func (p *Program) Listing(maxBundles int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: II=%d unroll=%d stages=%d trip=%d\n",
+		p.Loop.Name, p.Machine.Name, p.II, p.Unroll, p.Stages, p.Trip)
+	fmt.Fprintf(&b, "code size: mve %d bundles (%d prologue + %d kernel x %d passes + %d epilogue), predicated %d bundles x %d passes (k from %d)\n",
+		p.MVEBundles(), len(p.Prologue), len(p.Kernel), p.Passes, len(p.Epilogue),
+		p.PredBundles(), p.PredPasses, p.KStart)
+	for ci, ns := range p.Names {
+		fmt.Fprintf(&b, "cluster %d (%s): %d/%d registers", ci, p.Machine.Clusters[ci].Name, len(ns), p.Machine.RegsPerCluster(ci))
+		if len(ns) > 0 {
+			fmt.Fprintf(&b, " [r0=%s .. r%d=%s]", ns[0], len(ns)-1, ns[len(ns)-1])
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(p.Frame) > 0 {
+		fmt.Fprintf(&b, "frame: %d spill slots", len(p.Frame))
+		for i, fs := range p.Frame {
+			if i >= 8 {
+				fmt.Fprintf(&b, " ...")
+				break
+			}
+			fmt.Fprintf(&b, " fp[%d]=%s(c%d)", i, fs.Name, fs.Cluster)
+		}
+		fmt.Fprintln(&b)
+	}
+	seg := func(title string, bundles []Bundle) {
+		fmt.Fprintf(&b, "%s (%d bundles):\n", title, len(bundles))
+		for j, bun := range bundles {
+			if maxBundles > 0 && j >= maxBundles {
+				fmt.Fprintf(&b, "  ... %d more bundles\n", len(bundles)-j)
+				return
+			}
+			fmt.Fprintf(&b, "  %4d:", j)
+			if len(bun.Ops) == 0 {
+				fmt.Fprintf(&b, " (empty)")
+			}
+			for i := range bun.Ops {
+				op := &bun.Ops[i]
+				in := p.Loop.Instrs[op.ID]
+				fmt.Fprintf(&b, "  [c%d.u%d] %s#%d@%d", op.Cluster, op.Slot, in.Op, op.ID, op.Iter)
+				for _, d := range op.Defs {
+					fmt.Fprintf(&b, " %s", d)
+				}
+				if len(op.Srcs) > 0 {
+					fmt.Fprintf(&b, " <-")
+					for _, s := range op.Srcs {
+						fmt.Fprintf(&b, " %s", s)
+					}
+				}
+				for _, x := range op.Xfers {
+					fmt.Fprintf(&b, " bus->%s(+%d)", x.Dst, x.Delay)
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	seg("prologue", p.Prologue)
+	seg("kernel", p.Kernel)
+	seg("epilogue", p.Epilogue)
+	return b.String()
+}

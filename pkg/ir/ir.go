@@ -46,6 +46,14 @@ type Instruction struct {
 	// of a first-order recurrence. The DDG builder turns each into a
 	// loop-carried true dependence with distance CarriedUses[v].
 	CarriedUses map[VReg]int
+	// SpillOf records, on OpSpillReload instructions only, which virtual
+	// register's value the reload reproduces. Paired reloads also carry a
+	// store→reload DepMem edge; live-in reloads (MaterializeLiveInSpill)
+	// have no such edge and no use operand, so without this field nothing
+	// would say which live-in the preheader parked in the slot — the
+	// execution layer (pkg/vm) needs it to bind the reload's semantics.
+	// It is meaningless (zero) on every other opcode.
+	SpillOf VReg
 }
 
 // String renders the instruction roughly as "v3 = fmul v1, v2".

@@ -114,7 +114,7 @@ func MaterializeSpill(l *Loop, m *machine.Machine, g *Graph, defID int, reg VReg
 			r := nextReg
 			nextReg++
 			reloadReg[oldID] = r
-			id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}})
+			id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}, SpillOf: reg})
 			sp.ReloadIDs = append(sp.ReloadIDs, id)
 			sp.ReloadRegs = append(sp.ReloadRegs, r)
 			clone := *in
@@ -243,7 +243,7 @@ func MaterializeLiveInSpill(l *Loop, m *machine.Machine, g *Graph, reg VReg, opt
 		}
 		r := nextReg
 		nextReg++
-		id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}})
+		id := emit(&Instruction{Op: OpSpillReload, Class: machine.ClassMem, Defs: []VReg{r}, SpillOf: reg})
 		sp.ReloadIDs = append(sp.ReloadIDs, id)
 		sp.ReloadRegs = append(sp.ReloadRegs, r)
 		clone := *in

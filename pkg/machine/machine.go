@@ -176,6 +176,17 @@ func (m *Machine) Classes() []OpClass {
 	return out
 }
 
+// RegsPerCluster returns the architectural register count of cluster ci —
+// the capacity a register allocator maps renamed kernel values onto; names
+// beyond it overflow to stack-frame slots (pkg/emit). It returns 0 for an
+// out-of-range index so probing callers need no bounds check.
+func (m *Machine) RegsPerCluster(ci int) int {
+	if ci < 0 || ci >= len(m.Clusters) {
+		return 0
+	}
+	return m.Clusters[ci].RegFile.Size
+}
+
 // TotalRegisters returns the sum of all cluster register-file sizes.
 func (m *Machine) TotalRegisters() int {
 	n := 0

@@ -413,6 +413,15 @@ func (ek *ExpandedKernel) validate(lts []life.Lifetime, dists [][]int32, defined
 			if d := dists[xi.ID][j]; d >= 0 && defined[uv] {
 				c := ek.Copies[uv]
 				want.Copy = (((xi.Iteration - int(d)) % c) + c) % c
+			} else if defined[uv] {
+				// No true edge reaches this use, so the renaming treated
+				// it as a live-in and pinned it to copy 0 — but the loop
+				// *defines* uv, and the unroll iterations with
+				// i mod Copies(uv) == 0 write that very name. An emitter's
+				// allocator would silently alias the "live-in" with the
+				// rotating copy; reject the kernel instead.
+				return fmt.Errorf("sched: instance (%d, iter %d) reads %s as a live-in, but %s is defined in the loop — the live-in name %s would be clobbered by the renamed copy 0 definitions",
+					xi.ID, xi.Iteration, uv, uv, RegCopy{Reg: uv, Copy: 0})
 			}
 			if xi.Uses[j] != want {
 				return fmt.Errorf("sched: instance (%d, iter %d) reads %s for %s, want %s",

@@ -182,6 +182,56 @@ func TestExpandedKernelValidateCatchesClobber(t *testing.T) {
 	}
 }
 
+// TestExpandedKernelValidateCatchesLiveInAlias: a use that no true edge
+// reaches is renamed to the live-in name (copy 0) — which is only sound
+// if the loop never defines that register. Simulate the unsound case by
+// flipping the reaching true edge to a memory edge after expansion: the
+// use's register is still defined in the loop, so Validate must reject
+// the kernel rather than let an emitter alias the live-in name with the
+// rotating copy-0 definitions.
+func TestExpandedKernelValidateCatchesLiveInAlias(t *testing.T) {
+	m := machine.Unified()
+	l := ir.DotProduct()
+	g, err := ir.Build(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ek := expand(t, l, m, g)
+	if err := ek.Validate(); err != nil {
+		t.Fatalf("untampered kernel: %v", err)
+	}
+	// Flip one reaching DepTrue edge in place (indices unchanged, so the
+	// graph's adjacency stays consistent). Pick an edge whose (To, Reg)
+	// pair has no other true edge, so the use really loses its reaching
+	// definition.
+	tampered := false
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind != ir.DepTrue {
+			continue
+		}
+		alone := true
+		for j := range g.Edges {
+			if j != i && g.Edges[j].Kind == ir.DepTrue && g.Edges[j].To == e.To && g.Edges[j].Reg == e.Reg {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			e.Kind = ir.DepMem
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no solely-reaching DepTrue edge found to tamper with")
+	}
+	err = ek.Validate()
+	if err == nil || !strings.Contains(err.Error(), "as a live-in") {
+		t.Errorf("want live-in aliasing rejection after the flip, got %v", err)
+	}
+}
+
 // TestExpandRejectsInvalidSchedule: expansion refuses schedules that
 // fail Validate.
 func TestExpandRejectsInvalidSchedule(t *testing.T) {

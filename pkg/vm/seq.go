@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+)
+
+// RunSequential executes trip iterations of the loop the way the
+// dependence graph defines dataflow, with no overlap: instructions in
+// program order, one iteration after the next, each use reading the
+// value its reaching definition produced dist iterations earlier (the
+// register's initial value when that reaches before iteration 0). It is
+// the reference semantics every pipelined execution is checked against.
+func RunSequential(sem *Semantics, trip int) (*State, error) {
+	if trip < 1 {
+		return nil, fmt.Errorf("vm: sequential run needs trip >= 1, got %d", trip)
+	}
+	n := sem.Loop.NumInstrs()
+	mem := sem.NewMemImage()
+	h := sem.histLen
+	// hist[id] is a ring of instruction id's last histLen results —
+	// histLen exceeds every dependence distance, so a reaching value is
+	// always still in the ring when its consumer reads it.
+	back := make([]uint64, n*h)
+	hist := make([][]uint64, n)
+	for id := range hist {
+		hist[id] = back[id*h : (id+1)*h]
+	}
+	for i := 0; i < trip; i++ {
+		for id, in := range sem.Loop.Instrs {
+			op := &sem.ops[id]
+			srcVal := func(j int) uint64 {
+				r := op.srcs[j]
+				if r.site < 0 || int(r.dist) > i {
+					return sem.initReg(in.Uses[j])
+				}
+				return hist[r.site][(i-int(r.dist))%h]
+			}
+			out, wAddr, wVal := sem.eval(mem, id, i, srcVal)
+			if wAddr >= 0 {
+				binary.LittleEndian.PutUint64(mem[wAddr:], wVal)
+			}
+			hist[id][i%h] = out
+		}
+	}
+	st := &State{
+		Mem: mem, RegFinal: map[ir.VReg]uint64{}, Trip: trip,
+		Cycles:        trip * n,
+		ObservableLen: sem.ObservableLen(),
+	}
+	for v, site := range sem.finalSites() {
+		st.RegFinal[v] = hist[site][(trip-1)%h]
+	}
+	return st, nil
+}

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/mirs/pkg/emit"
+	"github.com/paper-repo-growth/mirs/pkg/ir"
+	"github.com/paper-repo-growth/mirs/pkg/sched"
+)
+
+// Mode selects which of the emitted program's execution plans the
+// interpreter runs.
+type Mode int
+
+const (
+	// ModeMVE runs prologue bundles, Passes kernel passes and epilogue
+	// bundles — the paper's modulo-variable-expanded code shape. The trip
+	// count is fixed by the plan (Program.Trip).
+	ModeMVE Mode = iota
+	// ModePredicated runs only the kernel bundles, for enough leading and
+	// trailing passes to cover any trip count, squashing every operation
+	// whose iteration falls outside [0, trip).
+	ModePredicated
+)
+
+func (m Mode) String() string {
+	if m == ModePredicated {
+		return "predicated"
+	}
+	return "mve"
+}
+
+// regCommit is one in-flight register write: the value lands in loc at a
+// fixed cycle. issue orders same-location commits (a later-issued write
+// architecturally wins and makes any slower earlier write stale); seq
+// breaks remaining ties deterministically.
+type regCommit struct {
+	loc        emit.Loc
+	val        uint64
+	issue, seq int
+}
+
+type memCommit struct {
+	addr int
+	val  uint64
+}
+
+// RunProgram interprets the emitted program on machine state derived
+// from sem: per-cluster register files plus frame slots initialised to
+// every renamed register's pre-loop value, and the same initial memory
+// image the sequential executor starts from. Each cycle first applies
+// the register and memory writebacks due (results commit their latency
+// after issue, bus transfers their extra bus latency later), then issues
+// the cycle's bundle — operands are read at issue, which is exactly the
+// contract Schedule.Validate enforced with its latency checks. The
+// semantics must have been bound with Bind (the final-state extraction
+// needs the kernel's renaming and placements).
+func RunProgram(sem *Semantics, prog *emit.Program, mode Mode, trip int) (*State, error) {
+	if sem.ek == nil {
+		return nil, fmt.Errorf("vm: run: semantics not bound to a schedule (use Bind, not BindLoop)")
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("vm: run: nil program")
+	}
+	if sem.Loop != prog.Loop {
+		return nil, fmt.Errorf("vm: run: program and semantics are for different loops")
+	}
+	if mode == ModeMVE && trip != prog.Trip {
+		return nil, fmt.Errorf("vm: run: the mve plan executes exactly %d iterations, got trip %d", prog.Trip, trip)
+	}
+	if trip < 1 {
+		return nil, fmt.Errorf("vm: run needs trip >= 1, got %d", trip)
+	}
+
+	m := prog.Machine
+	regs := make([][]uint64, m.NumClusters())
+	for ci := range regs {
+		regs[ci] = make([]uint64, m.RegsPerCluster(ci))
+		for idx, name := range prog.Names[ci] {
+			regs[ci][idx] = sem.initReg(name.Reg)
+		}
+	}
+	frame := make([]uint64, len(prog.Frame))
+	for idx, fs := range prog.Frame {
+		frame[idx] = sem.initReg(fs.Name.Reg)
+	}
+	mem := sem.NewMemImage()
+
+	readLoc := func(l emit.Loc) uint64 {
+		if l.Frame {
+			return frame[l.Index]
+		}
+		return regs[l.Cluster][l.Index]
+	}
+	writeLoc := func(l emit.Loc, v uint64) {
+		if l.Frame {
+			frame[l.Index] = v
+		} else {
+			regs[l.Cluster][l.Index] = v
+		}
+	}
+
+	pendingR := map[int][]regCommit{}
+	pendingW := map[int][]memCommit{}
+	lastIssue := map[emit.Loc]int{}
+	seq := 0
+
+	// bundleAt maps a timeline cycle to the bundle issuing then and the
+	// pass offset its kernel ops add to their base iteration; ok=false
+	// past the last issue cycle.
+	t0 := len(prog.Prologue)
+	period := prog.Period
+	kstart, passes := 0, prog.Passes
+	if mode == ModePredicated {
+		kstart, passes = prog.PredWindow(trip)
+		if passes == 0 {
+			return nil, fmt.Errorf("vm: run: predicated plan has no passes for trip %d", trip)
+		}
+	}
+	issueSpan := passes * period
+	if mode == ModeMVE {
+		issueSpan = t0 + passes*period + len(prog.Epilogue)
+	}
+	bundleAt := func(c int) (b *emit.Bundle, iterOff int) {
+		switch mode {
+		case ModeMVE:
+			switch {
+			case c < t0:
+				return &prog.Prologue[c], 0
+			case c < t0+passes*period:
+				return &prog.Kernel[(c-t0)%period], ((c - t0) / period) * prog.Unroll
+			default:
+				return &prog.Epilogue[c-t0-passes*period], 0
+			}
+		default:
+			return &prog.Kernel[c%period], (kstart + c/period) * prog.Unroll
+		}
+	}
+
+	for c := 0; c < issueSpan || len(pendingR) > 0 || len(pendingW) > 0; c++ {
+		// Writeback first: a result with latency L committed at cycle c is
+		// readable by an op issuing at c — the = in the scheduler's
+		// issue(consumer) >= issue(producer) + L contract.
+		if rcs, ok := pendingR[c]; ok {
+			sort.Slice(rcs, func(a, b int) bool {
+				if rcs[a].issue != rcs[b].issue {
+					return rcs[a].issue < rcs[b].issue
+				}
+				return rcs[a].seq < rcs[b].seq
+			})
+			for _, rc := range rcs {
+				if last, seen := lastIssue[rc.loc]; seen && rc.issue < last {
+					continue // stale: a later-issued write already owns the location
+				}
+				lastIssue[rc.loc] = rc.issue
+				writeLoc(rc.loc, rc.val)
+			}
+			delete(pendingR, c)
+		}
+		if wcs, ok := pendingW[c]; ok {
+			for _, wc := range wcs {
+				binary.LittleEndian.PutUint64(mem[wc.addr:], wc.val)
+			}
+			delete(pendingW, c)
+		}
+		if c >= issueSpan {
+			continue
+		}
+		bundle, iterOff := bundleAt(c)
+		for oi := range bundle.Ops {
+			op := &bundle.Ops[oi]
+			i := op.Iter + iterOff
+			if i < 0 || i >= trip {
+				if mode == ModePredicated {
+					continue // predicate false: squash the instance
+				}
+				return nil, fmt.Errorf("vm: run: mve op %d at cycle %d executes iteration %d outside [0, %d)", op.ID, c, i, trip)
+			}
+			out, wAddr, wVal := sem.eval(mem, op.ID, i, func(j int) uint64 {
+				return readLoc(op.Srcs[j])
+			})
+			if wAddr >= 0 {
+				wb := c + op.Latency
+				pendingW[wb] = append(pendingW[wb], memCommit{addr: wAddr, val: wVal})
+			}
+			for _, d := range op.Defs {
+				wb := c + op.Latency
+				pendingR[wb] = append(pendingR[wb], regCommit{loc: d, val: out, issue: c, seq: seq})
+				seq++
+			}
+			for _, x := range op.Xfers {
+				wb := c + x.Delay
+				pendingR[wb] = append(pendingR[wb], regCommit{loc: x.Dst, val: out, issue: c, seq: seq})
+				seq++
+			}
+		}
+	}
+
+	st := &State{
+		Mem: mem, RegFinal: map[ir.VReg]uint64{}, Trip: trip,
+		Cycles:        issueSpan,
+		ObservableLen: sem.ObservableLen(),
+	}
+	// Live-outs: each observable register's final value sits in the
+	// renamed copy iteration trip-1 wrote, on the last defining site's
+	// cluster.
+	ek := sem.ek
+	for v, site := range sem.finalSites() {
+		c := ek.Copies[v]
+		if c < 1 {
+			c = 1
+		}
+		name := sched.RegCopy{Reg: v, Copy: ((trip-1)%c + c) % c}
+		loc, ok := prog.LocOf(ek.Schedule.Placements[site].Cluster, name)
+		if !ok {
+			return nil, fmt.Errorf("vm: run: no location for live-out %s (site %d)", name, site)
+		}
+		st.RegFinal[v] = readLoc(loc)
+	}
+	return st, nil
+}
